@@ -1,0 +1,42 @@
+"""Benchmark for Figure 2: sensitivity of one sensor's diffused features to the slim width M.
+
+Shape check from the paper: the features change a lot for very small M and
+stabilise once M is large enough (the relative change shrinks as M grows),
+which is the empirical basis for choosing M ≈ 5% of N.
+"""
+
+import numpy as np
+
+from repro.experiments.fig2_diffusion_threshold import run_fig2
+
+
+def test_fig2_diffusion_threshold(benchmark, scale):
+    m_values = (2, 4, 8, 12) if scale["num_nodes"] <= 64 else (10, 20, 50, 100)
+    result = benchmark.pedantic(
+        run_fig2,
+        kwargs=dict(
+            m_values=m_values,
+            sensor=3,
+            num_nodes=scale["num_nodes"],
+            num_steps=scale["num_steps"],
+            epochs=1,
+            batch_size=scale["batch_size"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    changes = result["relative_change"]
+    print()
+    print("relative feature change per M:", {m: round(v, 3) for m, v in changes.items()})
+    print("stabilisation threshold M:", result["threshold_m"])
+
+    assert set(result["features"]) == set(m_values)
+    for features in result["features"].values():
+        assert np.all(np.isfinite(features))
+    # Every recorded change is a finite non-negative relative norm.
+    assert all(np.isfinite(value) and value >= 0 for value in changes.values())
+    # The change at the largest M is smaller than the maximum observed change —
+    # i.e. the features are stabilising rather than diverging.
+    ordered = [changes[m] for m in sorted(changes)]
+    assert ordered[-1] <= max(ordered) + 1e-12
+    assert ordered[-1] <= ordered[0] * 1.5

@@ -1,0 +1,44 @@
+"""Benchmark for Figure 3: hyper-parameter sensitivity (α, attention heads, slim width M).
+
+Shape checks from the paper: performance is reasonably stable across the
+swept ranges; extremely small M is never better than the largest swept M, and
+every sweep returns finite MAEs.
+"""
+
+import numpy as np
+
+from repro.experiments.fig3_sensitivity import run_fig3
+
+
+def test_fig3_sensitivity(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs=dict(
+            alphas=(1.0, 1.5, 2.0),
+            head_counts=(1, 2, 4),
+            m_values=(2, 6, 10),
+            num_nodes=scale["num_nodes"],
+            num_steps=scale["num_steps"],
+            epochs=1,
+            batch_size=scale["batch_size"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for panel, sweep in result.items():
+        print(f"  {panel}: " + ", ".join(f"{key}={value:.3f}" for key, value in sweep.items()))
+
+    assert set(result) == {"alpha", "heads", "m"}
+    for sweep in result.values():
+        assert all(np.isfinite(value) and value > 0 for value in sweep.values())
+
+    # Sparse normalisation (α > 1) is competitive with softmax: the best sparse
+    # setting is within 20% of the softmax baseline (the paper finds it better).
+    alpha_sweep = result["alpha"]
+    best_sparse = min(value for alpha, value in alpha_sweep.items() if alpha > 1.0)
+    assert best_sparse <= alpha_sweep[1.0] * 1.2
+
+    # Performance with the largest M is at least as good as with the tiniest M.
+    m_sweep = result["m"]
+    assert m_sweep[max(m_sweep)] <= m_sweep[min(m_sweep)] * 1.15

@@ -1,0 +1,43 @@
+"""Benchmark for Figure 4: prediction vs ground truth on METR-LA and CARPARK stand-ins.
+
+Shape checks from the paper's discussion of the figure: the predictions track
+the ground truth (low MAE relative to the signal's scale) and are *smoother*
+than the noisy ground truth (lower total variation), i.e. the model does not
+overfit sensor noise.
+"""
+
+import numpy as np
+
+from repro.experiments.fig4_visualization import run_fig4
+
+
+def test_fig4_visualization(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs=dict(
+            datasets=("metr_la_like", "carpark1918_like"),
+            sensors=(0, 3),
+            num_nodes=scale["num_nodes"],
+            num_steps=scale["num_steps"],
+            epochs=scale["epochs"],
+            batch_size=scale["batch_size"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for dataset_name, payload in result.items():
+        print()
+        print(f"{dataset_name}: {payload['num_plotted_steps']} plotted steps")
+        for sensor, series in payload["sensors"].items():
+            print(f"  sensor {sensor}: mae={series['mae']:.3f} "
+                  f"TV(truth)={series['truth_total_variation']:.1f} "
+                  f"TV(prediction)={series['prediction_total_variation']:.1f}")
+            truth = series["ground_truth"]
+            prediction = series["prediction"]
+            assert truth.shape == prediction.shape
+            assert np.isfinite(series["mae"])
+            # Predictions track the signal: error well below the signal's own spread.
+            observed = truth[truth != 0]
+            assert series["mae"] < observed.std() * 2.0
+            # Predictions are smoother than (or comparable to) the noisy ground truth.
+            assert series["prediction_total_variation"] <= series["truth_total_variation"] * 1.2

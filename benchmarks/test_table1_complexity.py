@@ -1,0 +1,65 @@
+"""Benchmark for Table I + Examples 1–2: complexity of adaptive-weight-GNN methods.
+
+Checks the headline claims of the paper's complexity analysis:
+
+* against the pair-wise methods (GTS, STEP) SAGDFN reduces both computation
+  and memory by exactly ``N / M`` (= 20 at the paper's large-dataset setting);
+* SAGDFN is the only method whose cost grows *linearly* in ``N`` — the
+  quadratic methods (including AGCRN, which is cheap per node-pair) are
+  overtaken once the graph is large enough;
+* the Example 1 / Example 2 GPU-memory figures shrink by the same ``N / M``
+  factor.
+"""
+
+import pytest
+
+from repro.core.complexity import computation_cost, memory_cost
+from repro.experiments.table1_complexity import run_table1
+
+
+def test_table1_complexity(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    profiles = {profile.model: profile for profile in result["profiles"]}
+    assert set(profiles) == {"AGCRN", "GTS", "STEP", "SAGDFN"}
+
+    # Against the pair-wise family (GTS / STEP) SAGDFN is cheaper in both
+    # computation and memory, by exactly N / M = 20.
+    for name in ("GTS", "STEP"):
+        assert profiles["SAGDFN"].computation < profiles[name].computation
+        assert profiles["SAGDFN"].memory < profiles[name].memory
+    assert result["reduction_vs_gts"]["memory"] == pytest.approx(20.0)
+    assert result["reduction_vs_gts"]["computation"] == pytest.approx(20.0, rel=0.05)
+
+    # Scaling shape: doubling N doubles SAGDFN's cost but quadruples everyone else's.
+    for name in ("AGCRN", "GTS", "STEP"):
+        ratio = (computation_cost(name, 4000, 100, 64, 100)
+                 / computation_cost(name, 2000, 100, 64, 100))
+        assert ratio == pytest.approx(4.0, rel=0.01)
+    sagdfn_ratio = (computation_cost("SAGDFN", 4000, 100, 64, 100)
+                    / computation_cost("SAGDFN", 2000, 100, 64, 100))
+    assert sagdfn_ratio == pytest.approx(2.0, rel=0.01)
+
+    # Crossover: AGCRN's per-pair cost is lower (no d² term), so it is cheaper at
+    # N = 2000, but the quadratic growth overtakes SAGDFN for large enough graphs.
+    assert computation_cost("AGCRN", 2000, 100, 64, 100) < computation_cost(
+        "SAGDFN", 2000, 100, 64, 100
+    )
+    assert computation_cost("AGCRN", 50_000, 100, 64, 100) > computation_cost(
+        "SAGDFN", 50_000, 100, 64, 100
+    )
+    assert memory_cost("AGCRN", 50_000, 100, 64, 100) > memory_cost(
+        "SAGDFN", 50_000, 100, 64, 100
+    )
+
+    # Example 1 vs Example 2: hidden states and node-pair embeddings both shrink 20x.
+    memory = result["example_memory"]
+    assert memory["gts_hidden_state_gb"] / memory["sagdfn_hidden_state_gb"] == pytest.approx(20.0)
+    assert memory["gts_embedding_gb"] / memory["sagdfn_embedding_gb"] == pytest.approx(20.0)
+    assert memory["gts_hidden_state_gb"] == pytest.approx(1.46, abs=0.2)  # Example 1's ~1.57 GB
+
+    print()
+    print("Table I at N=2000, d=100, D=64, M=100")
+    for name, profile in profiles.items():
+        print(f"  {name:8s} computation={profile.computation:.3e}  memory={profile.memory:.3e}")
+    print(f"  Example 1/2 memory: {memory}")

@@ -1,0 +1,51 @@
+"""Benchmark for Table IV: accuracy on a fixed sensor subset vs training-graph size.
+
+Shape checks: the analytic memory model reproduces the paper's maximum
+processable graph sizes (AGCRN ≈ 1750, GTS ≈ 1000, D2STGNN ≈ 200 at batch
+64), and SAGDFN's error on the fixed evaluation subset does not degrade — and
+typically improves — as the training graph grows.
+"""
+
+import numpy as np
+
+from repro.experiments.table4_london200 import run_table4
+
+
+def test_table4_london200(benchmark, scale):
+    training_sizes = (24, 48, 72) if scale["num_nodes"] <= 64 else (200, 1000, 1750)
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs=dict(
+            eval_nodes=training_sizes[0],
+            training_sizes=training_sizes,
+            num_steps=scale["num_steps"],
+            epochs=scale["epochs"],
+            batch_size=scale["batch_size"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result["table"].to_text())
+    print("paper-scale maximum trainable nodes:", result["paper_max_nodes"])
+
+    # The memory model reproduces the "# nodes in training set" column of Table IV.
+    paper_max = result["paper_max_nodes"]
+    assert 1600 <= paper_max["AGCRN"] <= 1900
+    assert 900 <= paper_max["GTS"] <= 1100
+    assert 150 <= paper_max["D2STGNN"] <= 260
+
+    # Training on a larger graph never hurts the fixed evaluation subset by more
+    # than noise (the paper reports a strict improvement after full-length training;
+    # at a few CPU epochs we only require no meaningful degradation).
+    sagdfn = result["sagdfn"]
+    mean_mae = {size: float(np.mean([entry.mae for entry in metrics]))
+                for size, metrics in sagdfn.items()}
+    assert mean_mae[max(mean_mae)] <= mean_mae[min(mean_mae)] * 1.15
+
+    # SAGDFN (at its best training size) beats every memory-limited baseline trained
+    # at its maximum processable graph, as in Table IV.
+    best_sagdfn = min(mean_mae.values())
+    for name, row in result["baselines"].items():
+        baseline_mae = np.mean([entry.mae for entry in row["metrics"]])
+        assert best_sagdfn <= baseline_mae * 1.1, name

@@ -1,0 +1,44 @@
+"""Benchmark for Table VIII: ablation of SAGDFN's components on the CARPARK stand-in.
+
+Shape check from the paper: the full model outperforms (or at worst ties with)
+every ablated variant on average across horizons.
+"""
+
+import numpy as np
+
+from repro.experiments.table8_ablation import ABLATION_VARIANTS, run_table8
+
+
+def _mean_mae(table, variant) -> float:
+    return float(np.mean([entry.mae for entry in table.rows[variant]]))
+
+
+def test_table8_ablation(benchmark, scale):
+    table = benchmark.pedantic(
+        run_table8,
+        kwargs=dict(
+            num_nodes=scale["num_nodes"],
+            num_steps=scale["num_steps"],
+            epochs=scale["epochs"],
+            batch_size=scale["batch_size"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(table.to_text())
+
+    assert set(table.rows) == set(ABLATION_VARIANTS)
+    full_model = _mean_mae(table, "SAGDFN")
+    ablated = {variant: _mean_mae(table, variant) for variant in ABLATION_VARIANTS
+               if variant != "SAGDFN"}
+
+    for variant, mae in ablated.items():
+        assert np.isfinite(mae)
+        # The full model should not be meaningfully worse than any ablation.
+        assert full_model <= mae * 1.1, f"full SAGDFN lost to ablation {variant}"
+
+    # And it should strictly beat at least half of the ablations, as in Table VIII
+    # where the full model wins every row.
+    wins = sum(1 for mae in ablated.values() if full_model < mae)
+    assert wins >= len(ablated) / 2

@@ -1,0 +1,59 @@
+"""Quickstart: train SAGDFN on a small synthetic traffic dataset and evaluate it.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates a METR-LA-like dataset (48 sensors), trains SAGDFN for a
+few epochs on CPU and prints the per-horizon MAE / RMSE / MAPE on the test
+split — the same protocol as Table III of the paper, at toy scale.
+"""
+
+from __future__ import annotations
+
+from repro.core import SAGDFN, SAGDFNConfig, Trainer
+from repro.evaluation import evaluate_neural
+from repro.experiments.common import prepare_data
+from repro.optim import Adam
+
+
+def main() -> None:
+    # 1. Data: 48-sensor traffic network, one week of 5-minute readings,
+    #    70/10/20 chronological split, z-scored inputs, time-of-day covariate.
+    data = prepare_data("metr_la_like", num_nodes=48, num_steps=2016, batch_size=16, seed=0)
+    print(f"dataset: {data.name}  nodes={data.num_nodes}  "
+          f"train/val/test steps = {data.train.num_steps}/{data.val.num_steps}/{data.test.num_steps}")
+
+    # 2. Model: SAGDFN with a slim width of M=10 significant neighbours.
+    config = SAGDFNConfig(
+        num_nodes=data.num_nodes,
+        input_dim=data.input_dim,
+        history=data.history,
+        horizon=data.horizon,
+        embedding_dim=16,
+        num_significant=10,
+        top_k=8,
+        hidden_size=32,
+        num_heads=2,
+        alpha=1.5,
+        diffusion_steps=2,
+    )
+    model = SAGDFN(config)
+    print(f"SAGDFN parameters: {model.num_parameters():,}")
+
+    # 3. Train with Adam on the masked MAE (Eq. 11), early-stopping on validation MAE.
+    trainer = Trainer(model, Adam(model.parameters(), lr=5e-3), scaler=data.scaler)
+    history = trainer.fit(data.train_loader, data.val_loader, epochs=5, patience=2)
+    print("train losses:", [round(loss, 3) for loss in history.train_losses])
+    print("val MAEs:    ", [round(mae, 3) for mae in history.val_maes])
+
+    # 4. Evaluate at the paper's horizons.
+    print(f"\nselected significant neighbours (M={config.num_significant}):", model.index_set)
+    print("\ntest metrics:")
+    for entry in evaluate_neural(model, data.test_loader, data.scaler, horizons=(3, 6, 12)):
+        print(f"  horizon {entry.horizon:2d}:  MAE {entry.mae:6.3f}  "
+              f"RMSE {entry.rmse:6.3f}  MAPE {entry.mape * 100:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

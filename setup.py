@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs work in fully offline environments where the
+``wheel`` package (required by PEP 517 editable builds) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""SAGDFN reproduction: Scalable Adaptive Graph Diffusion Forecasting Network.
+
+This package is a from-scratch, NumPy-based reproduction of the ICDE 2024
+paper *"SAGDFN: A Scalable Adaptive Graph Diffusion Forecasting Network for
+Multivariate Time Series Forecasting"*.  It contains:
+
+* ``repro.tensor`` / ``repro.nn`` / ``repro.optim`` — the deep-learning
+  substrate (reverse-mode autodiff, layers, optimisers).
+* ``repro.sparse`` — softmax / sparsemax / α-entmax normalisers.
+* ``repro.graph`` and ``repro.data`` — graph and time-series substrates,
+  including synthetic stand-ins for METR-LA, London2000, NewYork2000 and
+  CARPARK1918.
+* ``repro.core`` — the paper's contribution: Significant Neighbors Sampling,
+  Sparse Spatial Multi-Head Attention, the fast slim-adjacency graph
+  diffusion GRU, and the end-to-end SAGDFN model and trainer.
+* ``repro.baselines`` — the fifteen comparison methods of the evaluation.
+* ``repro.metrics`` / ``repro.evaluation`` / ``repro.experiments`` — the
+  benchmark harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

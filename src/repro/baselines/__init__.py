@@ -1,0 +1,74 @@
+"""Baselines of the paper's evaluation (Tables III–X).
+
+Every method is re-implemented on the shared ``repro`` substrate so the
+comparison is self-contained and runnable offline:
+
+* **Classical** — Historical Average, ARIMA, VAR, SVR (Section II-A).
+* **Univariate neural** — LSTM / GRU sequence-to-sequence (Section II-B).
+* **Predefined-graph STGNNs** — DCRNN, STGCN, STSGCN.
+* **Adaptive-graph STGNNs** — Graph WaveNet, AGCRN, MTGNN, GMAN, ASTGCN,
+  GTS, STEP, D2STGNN (all in "lite" form: same architecture family and the
+  same asymptotic cost profile, reduced hidden sizes).
+* **Non-GNN long-sequence models** — TimesNet, FEDformer, ETSformer
+  (Table IX), also in lite form.
+
+:mod:`repro.baselines.registry` exposes a uniform factory keyed by the names
+used in the paper's tables, together with each model's memory-cost profile
+(consumed by the OOM analysis of Tables V–VII).
+"""
+
+from repro.baselines.base import ClassicalForecaster, NeuralForecaster
+from repro.baselines.historical_average import HistoricalAverage
+from repro.baselines.arima import ARIMAForecaster
+from repro.baselines.var import VARForecaster
+from repro.baselines.svr import SVRForecaster
+from repro.baselines.lstm import LSTMForecaster, GRUForecaster
+from repro.baselines.dcrnn import DCRNNForecaster
+from repro.baselines.stgcn import STGCNForecaster
+from repro.baselines.stsgcn import STSGCNForecaster
+from repro.baselines.graph_wavenet import GraphWaveNetForecaster
+from repro.baselines.agcrn import AGCRNForecaster
+from repro.baselines.mtgnn import MTGNNForecaster
+from repro.baselines.gman import GMANForecaster
+from repro.baselines.astgcn import ASTGCNForecaster
+from repro.baselines.gts import GTSForecaster
+from repro.baselines.step import STEPForecaster
+from repro.baselines.d2stgnn import D2STGNNForecaster
+from repro.baselines.non_gnn import TimesNetForecaster, FEDformerForecaster, ETSformerForecaster
+from repro.baselines.registry import (
+    BASELINE_REGISTRY,
+    BaselineInfo,
+    build_baseline,
+    classical_baseline_names,
+    neural_baseline_names,
+)
+
+__all__ = [
+    "ClassicalForecaster",
+    "NeuralForecaster",
+    "HistoricalAverage",
+    "ARIMAForecaster",
+    "VARForecaster",
+    "SVRForecaster",
+    "LSTMForecaster",
+    "GRUForecaster",
+    "DCRNNForecaster",
+    "STGCNForecaster",
+    "STSGCNForecaster",
+    "GraphWaveNetForecaster",
+    "AGCRNForecaster",
+    "MTGNNForecaster",
+    "GMANForecaster",
+    "ASTGCNForecaster",
+    "GTSForecaster",
+    "STEPForecaster",
+    "D2STGNNForecaster",
+    "TimesNetForecaster",
+    "FEDformerForecaster",
+    "ETSformerForecaster",
+    "BASELINE_REGISTRY",
+    "BaselineInfo",
+    "build_baseline",
+    "classical_baseline_names",
+    "neural_baseline_names",
+]

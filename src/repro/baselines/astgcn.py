@@ -1,0 +1,74 @@
+"""ASTGCN baseline (Guo et al., 2019) — attention-based spatial-temporal GCN.
+
+ASTGCN modulates a Chebyshev graph convolution with a learned ``N × N``
+spatial-attention matrix and a ``T × T`` temporal-attention matrix.  The lite
+re-implementation keeps one attention-modulated graph convolution block over
+the predefined adjacency, followed by a temporal convolution and a direct
+multi-horizon head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import NeuralForecaster
+from repro.graph import symmetric_normalize
+from repro.nn import Linear
+from repro.nn.conv import GatedTemporalConv
+from repro.nn.module import Parameter
+from repro.sparse import softmax
+from repro.tensor import Tensor
+from repro.utils.seed import spawn_rng
+
+
+class ASTGCNForecaster(NeuralForecaster):
+    """Attention-based Spatial-Temporal GCN (lite)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        input_dim: int,
+        history: int,
+        horizon: int,
+        adjacency: np.ndarray,
+        hidden_size: int = 16,
+        seed: int | None = 0,
+    ):
+        super().__init__(num_nodes, input_dim, history, horizon)
+        base = 0 if seed is None else seed
+        rng = spawn_rng(base)
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        self.support = Tensor(symmetric_normalize(adjacency + np.eye(num_nodes)))
+        self.hidden_size = hidden_size
+        # Spatial attention parameters (bilinear form over node summaries).
+        self.attention_left = Parameter(rng.normal(0.0, 0.1, size=(history * input_dim,)),
+                                        name="attention_left")
+        self.attention_right = Parameter(rng.normal(0.0, 0.1, size=(history * input_dim,)),
+                                         name="attention_right")
+        self.input_proj = Linear(input_dim, hidden_size, seed=base + 1)
+        self.graph_weight = Linear(hidden_size, hidden_size, seed=base + 2)
+        self.temporal = GatedTemporalConv(hidden_size, hidden_size, kernel_size=2, seed=base + 3)
+        self.head = Linear(hidden_size * history, horizon, seed=base + 4)
+
+    def spatial_attention(self, history: Tensor) -> Tensor:
+        """Per-sample ``(B, N, N)`` attention modulating the graph support."""
+        batch, steps, nodes, channels = history.shape
+        summary = history.transpose(0, 2, 1, 3).reshape(batch, nodes, steps * channels)
+        left = summary.matmul(self.attention_left.reshape(-1, 1))  # (B, N, 1)
+        right = summary.matmul(self.attention_right.reshape(-1, 1))  # (B, N, 1)
+        scores = left + right.transpose(0, 2, 1)  # (B, N, N)
+        return softmax(scores.tanh(), axis=-1)
+
+    def forward(self, history: Tensor) -> Tensor:
+        batch, steps, nodes, _ = history.shape
+        attention = self.spatial_attention(history)  # (B, N, N)
+        modulated = attention * self.support  # broadcast over batch
+        hidden = self.input_proj(history)  # (B, T, N, H)
+        # Attention-modulated graph convolution per step (support differs per sample).
+        spatial = modulated.unsqueeze(1).matmul(hidden)
+        hidden = (self.graph_weight(spatial) + hidden).relu()
+        per_node = hidden.transpose(0, 2, 3, 1).reshape(batch * nodes, self.hidden_size, steps)
+        per_node = self.temporal(per_node)
+        flattened = per_node.reshape(batch, nodes, self.hidden_size * steps)
+        output = self.head(flattened)
+        return output.transpose(0, 2, 1).unsqueeze(-1)

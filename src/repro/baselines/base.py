@@ -1,0 +1,68 @@
+"""Common interfaces shared by every baseline.
+
+Two families exist:
+
+* :class:`NeuralForecaster` — a :class:`~repro.nn.module.Module` mapping a
+  normalised history tensor ``(B, h, N, C)`` to predictions ``(B, f, N, 1)``;
+  trained by :class:`repro.core.trainer.Trainer` exactly like SAGDFN.
+* :class:`ClassicalForecaster` — statistical / machine-learning methods with
+  a ``fit(series)`` / ``predict(history)`` interface operating on raw NumPy
+  arrays; evaluated by :func:`repro.evaluation.evaluator.evaluate_classical`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class NeuralForecaster(Module):
+    """Base class for neural baselines.
+
+    Sub-classes set ``history``, ``horizon``, ``num_nodes`` and implement
+    :meth:`forward`; the attributes allow generic harness code to size
+    batches correctly.
+    """
+
+    def __init__(self, num_nodes: int, input_dim: int, history: int, horizon: int):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.input_dim = input_dim
+        self.history = history
+        self.horizon = horizon
+
+    def forward(self, history: Tensor) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ClassicalForecaster:
+    """Base class for non-neural baselines (ARIMA, VAR, SVR, HA).
+
+    ``fit`` receives the raw training values ``(T, N)`` of the target channel;
+    ``predict`` maps a history window ``(h, N)`` to a forecast ``(f, N)``.
+    """
+
+    def __init__(self, history: int, horizon: int):
+        if history < 1 or horizon < 1:
+            raise ValueError("history and horizon must be >= 1")
+        self.history = history
+        self.horizon = horizon
+        self._fitted = False
+
+    def fit(self, values: np.ndarray) -> "ClassicalForecaster":
+        raise NotImplementedError
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} must be fit before predicting")
+
+    def _check_history(self, history: np.ndarray) -> np.ndarray:
+        history = np.asarray(history, dtype=np.float64)
+        if history.ndim != 2:
+            raise ValueError(f"history must be (steps, nodes), got shape {history.shape}")
+        return history

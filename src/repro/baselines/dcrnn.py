@@ -1,0 +1,52 @@
+"""DCRNN baseline (Li et al., 2018) — diffusion-convolution GRU with a *predefined* graph.
+
+DCRNN was the first STGNN traffic forecaster; it requires the road-network
+adjacency to be known in advance (built from sensor distances) and plugs the
+resulting diffusion convolution into a GRU encoder–decoder.  The recurrent
+machinery is shared with SAGDFN (:class:`repro.core.encoder_decoder`); the
+only difference is that the support here is a *fixed dense* random-walk
+matrix instead of the learned slim adjacency, i.e. cost ``O(N²)`` per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import NeuralForecaster
+from repro.core.encoder_decoder import SAGDFNEncoderDecoder
+from repro.graph import row_normalize
+from repro.tensor import Tensor
+
+
+class DCRNNForecaster(NeuralForecaster):
+    """Diffusion Convolutional Recurrent Neural Network (lite re-implementation)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        input_dim: int,
+        history: int,
+        horizon: int,
+        adjacency: np.ndarray,
+        hidden_size: int = 32,
+        diffusion_steps: int = 2,
+        seed: int | None = 0,
+    ):
+        super().__init__(num_nodes, input_dim, history, horizon)
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if adjacency.shape != (num_nodes, num_nodes):
+            raise ValueError(
+                f"adjacency must be ({num_nodes}, {num_nodes}), got {adjacency.shape}"
+            )
+        self.support = Tensor(row_normalize(adjacency))
+        self.forecaster = SAGDFNEncoderDecoder(
+            input_dim=input_dim,
+            hidden_dim=hidden_size,
+            output_dim=1,
+            horizon=horizon,
+            diffusion_steps=diffusion_steps,
+            seed=seed,
+        )
+
+    def forward(self, history: Tensor) -> Tensor:
+        return self.forecaster(history, self.support, index_set=None)

@@ -1,0 +1,48 @@
+"""Historical-average forecaster — the simplest sanity-check baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ClassicalForecaster
+
+
+class HistoricalAverage(ClassicalForecaster):
+    """Predict the per-node average of the same time-of-day slot.
+
+    The model memorises, for every node and every slot of the daily cycle,
+    the mean training value; at prediction time it replays those means.  If
+    the daily period is unknown it falls back to the mean of the input
+    window.
+    """
+
+    def __init__(self, history: int, horizon: int, steps_per_day: int | None = None):
+        super().__init__(history, horizon)
+        self.steps_per_day = steps_per_day
+        self.slot_means_: np.ndarray | None = None
+        self.global_means_: np.ndarray | None = None
+        self._train_length = 0
+
+    def fit(self, values: np.ndarray) -> "HistoricalAverage":
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError("values must be (steps, nodes)")
+        self._train_length = values.shape[0]
+        self.global_means_ = values.mean(axis=0)
+        if self.steps_per_day and self.steps_per_day > 1:
+            slots = np.arange(values.shape[0]) % self.steps_per_day
+            means = np.zeros((self.steps_per_day, values.shape[1]))
+            for slot in range(self.steps_per_day):
+                mask = slots == slot
+                means[slot] = values[mask].mean(axis=0) if mask.any() else self.global_means_
+            self.slot_means_ = means
+        self._fitted = True
+        return self
+
+    def predict(self, history: np.ndarray, start_step: int | None = None) -> np.ndarray:
+        self._check_fitted()
+        history = self._check_history(history)
+        if self.slot_means_ is None or start_step is None:
+            return np.repeat(history.mean(axis=0, keepdims=True), self.horizon, axis=0)
+        slots = (start_step + np.arange(self.horizon)) % self.steps_per_day
+        return self.slot_means_[slots]

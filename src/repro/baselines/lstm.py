@@ -1,0 +1,59 @@
+"""Univariate LSTM / GRU baselines (shared weights across nodes).
+
+These are the paper's "LSTM" baseline: each node's history is encoded
+independently by a recurrent network with weights shared across nodes, and
+the full horizon is emitted by a direct linear head.  No spatial information
+is exchanged, which is precisely the deficit the STGNN baselines address.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import NeuralForecaster
+from repro.nn import GRUCell, LSTMCell, Linear
+from repro.tensor import Tensor
+
+
+class LSTMForecaster(NeuralForecaster):
+    """Per-node LSTM encoder + direct multi-horizon linear decoder."""
+
+    def __init__(self, num_nodes: int, input_dim: int, history: int, horizon: int,
+                 hidden_size: int = 32, seed: int | None = 0):
+        super().__init__(num_nodes, input_dim, history, horizon)
+        base = 0 if seed is None else seed
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(input_dim, hidden_size, seed=base)
+        self.head = Linear(hidden_size, horizon, seed=base + 7)
+
+    def forward(self, history: Tensor) -> Tensor:
+        batch, steps, nodes, channels = history.shape
+        flat = history.transpose(0, 2, 1, 3).reshape(batch * nodes, steps, channels)
+        h, c = self.cell.initial_state(batch * nodes)
+        for t in range(steps):
+            h, c = self.cell(flat[:, t, :], (h, c))
+        output = self.head(h)  # (B*N, horizon)
+        output = output.reshape(batch, nodes, self.horizon).transpose(0, 2, 1)
+        return output.unsqueeze(-1)
+
+
+class GRUForecaster(NeuralForecaster):
+    """Per-node GRU encoder + direct multi-horizon linear decoder."""
+
+    def __init__(self, num_nodes: int, input_dim: int, history: int, horizon: int,
+                 hidden_size: int = 32, seed: int | None = 0):
+        super().__init__(num_nodes, input_dim, history, horizon)
+        base = 0 if seed is None else seed
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_dim, hidden_size, seed=base)
+        self.head = Linear(hidden_size, horizon, seed=base + 7)
+
+    def forward(self, history: Tensor) -> Tensor:
+        batch, steps, nodes, channels = history.shape
+        flat = history.transpose(0, 2, 1, 3).reshape(batch * nodes, steps, channels)
+        h = self.cell.initial_state(batch * nodes)
+        for t in range(steps):
+            h = self.cell(flat[:, t, :], h)
+        output = self.head(h)
+        output = output.reshape(batch, nodes, self.horizon).transpose(0, 2, 1)
+        return output.unsqueeze(-1)

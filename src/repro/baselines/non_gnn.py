@@ -1,0 +1,117 @@
+"""Non-GNN long-sequence baselines of Table IX: TimesNet, FEDformer, ETSformer (lite).
+
+All three treat each time series independently (weights shared across nodes)
+and have no mechanism for spatial correlation — the property Table IX
+isolates.  Each lite version keeps the model's defining inductive bias:
+
+* **TimesNet** — discover the dominant period with an FFT and model the
+  series as a 2-D (period × cycles) structure.
+* **FEDformer** — operate in the frequency domain, keeping only the top-k
+  Fourier modes of the history.
+* **ETSformer** — exponential-smoothing decomposition into level, growth and
+  season, with learnable smoothing coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import NeuralForecaster
+from repro.nn import FeedForward, Linear
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, concat
+
+
+class TimesNetForecaster(NeuralForecaster):
+    """TimesNet (lite): FFT period features + 2-D reshaped MLP per node."""
+
+    def __init__(self, num_nodes: int, input_dim: int, history: int, horizon: int,
+                 hidden_size: int = 32, top_frequencies: int = 4, seed: int | None = 0):
+        super().__init__(num_nodes, input_dim, history, horizon)
+        base = 0 if seed is None else seed
+        self.top_frequencies = min(top_frequencies, history // 2)
+        feature_dim = history * input_dim + 2 * self.top_frequencies
+        self.encoder = FeedForward(feature_dim, hidden_size, hidden_size, seed=base)
+        self.head = Linear(hidden_size, horizon, seed=base + 1)
+
+    def _frequency_features(self, target: np.ndarray) -> np.ndarray:
+        """Amplitude and phase of the strongest Fourier modes of each window."""
+        spectrum = np.fft.rfft(target, axis=-1)
+        amplitudes = np.abs(spectrum)[..., 1:]
+        order = np.argsort(-amplitudes, axis=-1)[..., : self.top_frequencies]
+        top_amp = np.take_along_axis(amplitudes, order, axis=-1)
+        phases = np.angle(spectrum)[..., 1:]
+        top_phase = np.take_along_axis(phases, order, axis=-1)
+        return np.concatenate([top_amp, top_phase], axis=-1)
+
+    def forward(self, history: Tensor) -> Tensor:
+        batch, steps, nodes, channels = history.shape
+        per_node = history.transpose(0, 2, 1, 3).reshape(batch * nodes, steps * channels)
+        target_windows = history.data[:, :, :, 0].transpose(0, 2, 1).reshape(batch * nodes, steps)
+        frequency = Tensor(self._frequency_features(target_windows))
+        features = concat([per_node, frequency], axis=-1)
+        hidden = self.encoder(features).relu()
+        output = self.head(hidden).reshape(batch, nodes, self.horizon)
+        return output.transpose(0, 2, 1).unsqueeze(-1)
+
+
+class FEDformerForecaster(NeuralForecaster):
+    """FEDformer (lite): linear modelling of the top-k frequency modes plus trend."""
+
+    def __init__(self, num_nodes: int, input_dim: int, history: int, horizon: int,
+                 top_modes: int = 6, hidden_size: int = 32, seed: int | None = 0):
+        super().__init__(num_nodes, input_dim, history, horizon)
+        base = 0 if seed is None else seed
+        self.top_modes = min(top_modes, history // 2 + 1)
+        # Real and imaginary parts of the kept modes, plus the window mean (trend).
+        self.frequency_head = Linear(2 * self.top_modes + 1, horizon, seed=base)
+        self.residual_head = Linear(history * input_dim, horizon, seed=base + 1)
+
+    def forward(self, history: Tensor) -> Tensor:
+        batch, steps, nodes, channels = history.shape
+        target = history.data[:, :, :, 0].transpose(0, 2, 1).reshape(batch * nodes, steps)
+        spectrum = np.fft.rfft(target, axis=-1)[:, : self.top_modes]
+        trend = target.mean(axis=-1, keepdims=True)
+        frequency_features = Tensor(
+            np.concatenate([spectrum.real, spectrum.imag, trend], axis=-1)
+        )
+        per_node = history.transpose(0, 2, 1, 3).reshape(batch * nodes, steps * channels)
+        output = self.frequency_head(frequency_features) + self.residual_head(per_node)
+        output = output.reshape(batch, nodes, self.horizon)
+        return output.transpose(0, 2, 1).unsqueeze(-1)
+
+
+class ETSformerForecaster(NeuralForecaster):
+    """ETSformer (lite): differentiable exponential smoothing with level and growth."""
+
+    def __init__(self, num_nodes: int, input_dim: int, history: int, horizon: int,
+                 hidden_size: int = 16, seed: int | None = 0):
+        super().__init__(num_nodes, input_dim, history, horizon)
+        base = 0 if seed is None else seed
+        # Logits of the level/growth smoothing coefficients (sigmoid-squashed in forward).
+        self.level_logit = Parameter(np.array([0.0]), name="level_logit")
+        self.growth_logit = Parameter(np.array([-1.0]), name="growth_logit")
+        self.season_head = Linear(history, horizon, seed=base)
+        self.correction_head = Linear(history * input_dim, horizon, seed=base + 1)
+
+    def forward(self, history: Tensor) -> Tensor:
+        batch, steps, nodes, channels = history.shape
+        target = history[:, :, :, 0].transpose(0, 2, 1).reshape(batch * nodes, steps)
+        alpha = self.level_logit.sigmoid()
+        beta = self.growth_logit.sigmoid()
+
+        level = target[:, 0:1]
+        growth = target[:, 1:2] - target[:, 0:1] if steps > 1 else target[:, 0:1] * 0.0
+        for t in range(1, steps):
+            observation = target[:, t : t + 1]
+            new_level = alpha * observation + (1.0 - alpha) * (level + growth)
+            growth = beta * (new_level - level) + (1.0 - beta) * growth
+            level = new_level
+
+        horizon_offsets = Tensor(np.arange(1, self.horizon + 1, dtype=np.float64)[None, :])
+        trend_forecast = level + growth * horizon_offsets  # (B*N, horizon)
+        season = self.season_head(target)
+        per_node = history.transpose(0, 2, 1, 3).reshape(batch * nodes, steps * channels)
+        correction = self.correction_head(per_node)
+        output = (trend_forecast + season + correction).reshape(batch, nodes, self.horizon)
+        return output.transpose(0, 2, 1).unsqueeze(-1)

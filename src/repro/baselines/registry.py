@@ -1,0 +1,177 @@
+"""Uniform factory for every baseline, keyed by the names used in the paper's tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.agcrn import AGCRNForecaster
+from repro.baselines.arima import ARIMAForecaster
+from repro.baselines.astgcn import ASTGCNForecaster
+from repro.baselines.base import ClassicalForecaster, NeuralForecaster
+from repro.baselines.d2stgnn import D2STGNNForecaster
+from repro.baselines.dcrnn import DCRNNForecaster
+from repro.baselines.gman import GMANForecaster
+from repro.baselines.graph_wavenet import GraphWaveNetForecaster
+from repro.baselines.gts import GTSForecaster
+from repro.baselines.historical_average import HistoricalAverage
+from repro.baselines.lstm import GRUForecaster, LSTMForecaster
+from repro.baselines.mtgnn import MTGNNForecaster
+from repro.baselines.non_gnn import (
+    ETSformerForecaster,
+    FEDformerForecaster,
+    TimesNetForecaster,
+)
+from repro.baselines.step import STEPForecaster
+from repro.baselines.stgcn import STGCNForecaster
+from repro.baselines.stsgcn import STSGCNForecaster
+from repro.baselines.svr import SVRForecaster
+from repro.baselines.var import VARForecaster
+
+
+@dataclass(frozen=True)
+class BaselineInfo:
+    """Metadata describing one baseline.
+
+    Attributes
+    ----------
+    name:
+        Table name (e.g. ``"GTS"``).
+    family:
+        One of ``classical``, ``univariate``, ``predefined_graph``,
+        ``adaptive_inner``, ``adaptive_attention``, ``adaptive_pairwise``,
+        ``non_gnn`` — the grouping used throughout Section V.
+    requires_adjacency:
+        Whether the model needs the predefined road-network adjacency.
+    requires_series_features:
+        Whether the model conditions on the full training series (GTS/STEP).
+    spatial:
+        Whether the model exchanges information between nodes at all.
+    """
+
+    name: str
+    family: str
+    requires_adjacency: bool = False
+    requires_series_features: bool = False
+    spatial: bool = True
+
+
+BASELINE_REGISTRY: dict[str, BaselineInfo] = {
+    "HA": BaselineInfo("HA", "classical", spatial=False),
+    "ARIMA": BaselineInfo("ARIMA", "classical", spatial=False),
+    "VAR": BaselineInfo("VAR", "classical"),
+    "SVR": BaselineInfo("SVR", "classical", spatial=False),
+    "LSTM": BaselineInfo("LSTM", "univariate", spatial=False),
+    "GRU": BaselineInfo("GRU", "univariate", spatial=False),
+    "DCRNN": BaselineInfo("DCRNN", "predefined_graph", requires_adjacency=True),
+    "STGCN": BaselineInfo("STGCN", "predefined_graph", requires_adjacency=True),
+    "STSGCN": BaselineInfo("STSGCN", "predefined_graph", requires_adjacency=True),
+    "GraphWaveNet": BaselineInfo("GraphWaveNet", "adaptive_inner"),
+    "AGCRN": BaselineInfo("AGCRN", "adaptive_inner"),
+    "MTGNN": BaselineInfo("MTGNN", "adaptive_inner"),
+    "GMAN": BaselineInfo("GMAN", "adaptive_attention"),
+    "ASTGCN": BaselineInfo("ASTGCN", "adaptive_attention", requires_adjacency=True),
+    "GTS": BaselineInfo("GTS", "adaptive_pairwise", requires_series_features=True),
+    "STEP": BaselineInfo("STEP", "adaptive_pairwise", requires_series_features=True),
+    "D2STGNN": BaselineInfo("D2STGNN", "adaptive_pairwise", requires_adjacency=False),
+    "TimesNet": BaselineInfo("TimesNet", "non_gnn", spatial=False),
+    "FEDformer": BaselineInfo("FEDformer", "non_gnn", spatial=False),
+    "ETSformer": BaselineInfo("ETSformer", "non_gnn", spatial=False),
+}
+
+
+def classical_baseline_names() -> list[str]:
+    """Names of the non-neural baselines."""
+    return [name for name, info in BASELINE_REGISTRY.items() if info.family == "classical"]
+
+
+def neural_baseline_names() -> list[str]:
+    """Names of the neural baselines (trained with the shared Trainer)."""
+    return [name for name, info in BASELINE_REGISTRY.items() if info.family != "classical"]
+
+
+def build_baseline(
+    name: str,
+    num_nodes: int,
+    input_dim: int,
+    history: int,
+    horizon: int,
+    adjacency: np.ndarray | None = None,
+    series_values: np.ndarray | None = None,
+    hidden_size: int = 24,
+    seed: int = 0,
+    steps_per_day: int | None = None,
+) -> NeuralForecaster | ClassicalForecaster:
+    """Instantiate the baseline ``name`` with CPU-sized hyper-parameters.
+
+    Parameters
+    ----------
+    adjacency:
+        Predefined road-network adjacency, required by DCRNN / STGCN /
+        STSGCN / ASTGCN (and optionally consumed by D2STGNN).
+    series_values:
+        Raw training values ``(T, N)`` used to build the static per-node
+        features GTS and STEP condition on.
+    """
+    if name not in BASELINE_REGISTRY:
+        raise KeyError(f"unknown baseline {name!r}; available: {sorted(BASELINE_REGISTRY)}")
+    info = BASELINE_REGISTRY[name]
+    if info.requires_adjacency and adjacency is None:
+        raise ValueError(f"{name} requires a predefined adjacency matrix")
+    if info.requires_series_features and series_values is None:
+        raise ValueError(f"{name} requires the training series to build node features")
+
+    if name == "HA":
+        return HistoricalAverage(history, horizon, steps_per_day=steps_per_day)
+    if name == "ARIMA":
+        return ARIMAForecaster(history, horizon)
+    if name == "VAR":
+        return VARForecaster(history, horizon)
+    if name == "SVR":
+        return SVRForecaster(history, horizon)
+    if name == "LSTM":
+        return LSTMForecaster(num_nodes, input_dim, history, horizon, hidden_size, seed=seed)
+    if name == "GRU":
+        return GRUForecaster(num_nodes, input_dim, history, horizon, hidden_size, seed=seed)
+    if name == "DCRNN":
+        return DCRNNForecaster(num_nodes, input_dim, history, horizon, adjacency,
+                               hidden_size=hidden_size, seed=seed)
+    if name == "STGCN":
+        return STGCNForecaster(num_nodes, input_dim, history, horizon, adjacency,
+                               hidden_size=max(8, hidden_size // 2), seed=seed)
+    if name == "STSGCN":
+        return STSGCNForecaster(num_nodes, input_dim, history, horizon, adjacency,
+                                hidden_size=max(8, hidden_size // 2), seed=seed)
+    if name == "GraphWaveNet":
+        return GraphWaveNetForecaster(num_nodes, input_dim, history, horizon,
+                                      hidden_size=max(8, hidden_size // 2), seed=seed)
+    if name == "AGCRN":
+        return AGCRNForecaster(num_nodes, input_dim, history, horizon,
+                               hidden_size=hidden_size, seed=seed)
+    if name == "MTGNN":
+        return MTGNNForecaster(num_nodes, input_dim, history, horizon,
+                               hidden_size=max(8, hidden_size // 2), seed=seed)
+    if name == "GMAN":
+        return GMANForecaster(num_nodes, input_dim, history, horizon,
+                              hidden_size=max(8, hidden_size // 2), seed=seed)
+    if name == "ASTGCN":
+        return ASTGCNForecaster(num_nodes, input_dim, history, horizon, adjacency,
+                                hidden_size=max(8, hidden_size // 2), seed=seed)
+    if name in {"GTS", "STEP"}:
+        features = GTSForecaster.features_from_series(series_values)
+        cls = GTSForecaster if name == "GTS" else STEPForecaster
+        return cls(num_nodes, input_dim, history, horizon, features,
+                   hidden_size=hidden_size, seed=seed)
+    if name == "D2STGNN":
+        return D2STGNNForecaster(num_nodes, input_dim, history, horizon, adjacency=adjacency,
+                                 hidden_size=hidden_size, seed=seed)
+    if name == "TimesNet":
+        return TimesNetForecaster(num_nodes, input_dim, history, horizon,
+                                  hidden_size=hidden_size, seed=seed)
+    if name == "FEDformer":
+        return FEDformerForecaster(num_nodes, input_dim, history, horizon, seed=seed)
+    if name == "ETSformer":
+        return ETSformerForecaster(num_nodes, input_dim, history, horizon, seed=seed)
+    raise KeyError(f"no builder implemented for {name!r}")  # pragma: no cover

@@ -1,0 +1,82 @@
+"""STGCN baseline (Yu et al., 2018) — spatio-temporal convolution blocks on a predefined graph.
+
+The lite re-implementation keeps the sandwich structure of the original
+(temporal gated convolution → Chebyshev graph convolution → temporal gated
+convolution) with a single ST block and a direct multi-horizon output head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import NeuralForecaster
+from repro.graph import scaled_laplacian
+from repro.nn import GatedTemporalConv, Linear
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+from repro.tensor import Tensor
+from repro.utils.seed import spawn_rng
+
+
+class ChebGraphConv(Module):
+    """Chebyshev-polynomial graph convolution of order ``K`` on a fixed support."""
+
+    def __init__(self, in_channels: int, out_channels: int, supports: list[np.ndarray],
+                 seed: int | None = 0):
+        super().__init__()
+        rng = spawn_rng(seed)
+        self.supports = [Tensor(s) for s in supports]
+        self.weights = [
+            Parameter(init.xavier_uniform((in_channels, out_channels), rng), name=f"cheb_{k}")
+            for k in range(len(supports))
+        ]
+        self.bias = Parameter(np.zeros(out_channels), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """``x`` has shape ``(..., N, C)``; each support mixes the node axis."""
+        output = None
+        for support, weight in zip(self.supports, self.weights):
+            term = support.matmul(x).matmul(weight)
+            output = term if output is None else output + term
+        return output + self.bias
+
+
+class STGCNForecaster(NeuralForecaster):
+    """Spatio-Temporal Graph Convolutional Network (lite)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        input_dim: int,
+        history: int,
+        horizon: int,
+        adjacency: np.ndarray,
+        hidden_size: int = 16,
+        cheb_order: int = 2,
+        seed: int | None = 0,
+    ):
+        super().__init__(num_nodes, input_dim, history, horizon)
+        base = 0 if seed is None else seed
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        laplacian = scaled_laplacian(adjacency)
+        supports = [np.eye(num_nodes), laplacian][:cheb_order]
+        self.hidden_size = hidden_size
+        self.temporal_in = GatedTemporalConv(input_dim, hidden_size, kernel_size=2, seed=base)
+        self.graph_conv = ChebGraphConv(hidden_size, hidden_size, supports, seed=base + 1)
+        self.temporal_out = GatedTemporalConv(hidden_size, hidden_size, kernel_size=2, seed=base + 2)
+        self.head = Linear(hidden_size * history, horizon, seed=base + 3)
+
+    def forward(self, history: Tensor) -> Tensor:
+        batch, steps, nodes, channels = history.shape
+        # Temporal convolution per node: (B, T, N, C) -> (B*N, C, T).
+        per_node = history.transpose(0, 2, 3, 1).reshape(batch * nodes, channels, steps)
+        hidden = self.temporal_in(per_node)  # (B*N, H, T)
+        hidden = hidden.reshape(batch, nodes, self.hidden_size, steps).transpose(0, 3, 1, 2)
+        # Graph convolution per time step: (B, T, N, H).
+        hidden = self.graph_conv(hidden).relu()
+        # Second temporal convolution.
+        per_node = hidden.transpose(0, 2, 3, 1).reshape(batch * nodes, self.hidden_size, steps)
+        hidden = self.temporal_out(per_node)  # (B*N, H, T)
+        flattened = hidden.reshape(batch, nodes, self.hidden_size * steps)
+        output = self.head(flattened)  # (B, N, horizon)
+        return output.transpose(0, 2, 1).unsqueeze(-1)

@@ -1,0 +1,105 @@
+"""Support-vector-regression baseline (linear ε-SVR on lag features).
+
+Without scikit-learn available offline, the ε-insensitive linear regression is
+trained by batch sub-gradient descent on the primal objective
+
+.. math::
+
+    \\tfrac{1}{2}\\lVert w \\rVert^2 + C \\sum_i \\max(0, |y_i - w^T x_i - b| - ε),
+
+one model per forecast step, with weights shared across nodes (each node's
+lag window is one training sample).  This matches the role SVR plays in the
+paper: a non-deep machine-learning reference that sees only each series' own
+recent history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ClassicalForecaster
+from repro.utils.seed import spawn_rng
+
+
+class SVRForecaster(ClassicalForecaster):
+    """Linear ε-SVR over lag windows, one regressor per horizon step."""
+
+    def __init__(
+        self,
+        history: int,
+        horizon: int,
+        epsilon: float = 0.1,
+        c: float = 1.0,
+        learning_rate: float = 0.01,
+        iterations: int = 200,
+        max_samples: int = 4000,
+        seed: int | None = 0,
+    ):
+        super().__init__(history, horizon)
+        self.epsilon = epsilon
+        self.c = c
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.max_samples = max_samples
+        self._rng = spawn_rng(seed)
+        self.weights_: np.ndarray | None = None  # (horizon, history)
+        self.biases_: np.ndarray | None = None  # (horizon,)
+        self.mean_: float = 0.0
+        self.scale_: float = 1.0
+
+    def _build_samples(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        steps, nodes = values.shape
+        num_windows = steps - self.history - self.horizon + 1
+        if num_windows < 1:
+            raise ValueError("not enough observations to build SVR training windows")
+        xs, ys = [], []
+        for start in range(num_windows):
+            window = values[start : start + self.history]
+            target = values[start + self.history : start + self.history + self.horizon]
+            xs.append(window.T)  # (N, history)
+            ys.append(target.T)  # (N, horizon)
+        x = np.concatenate(xs, axis=0)
+        y = np.concatenate(ys, axis=0)
+        if x.shape[0] > self.max_samples:
+            keep = self._rng.choice(x.shape[0], size=self.max_samples, replace=False)
+            x, y = x[keep], y[keep]
+        return x, y
+
+    def fit(self, values: np.ndarray) -> "SVRForecaster":
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError("values must be (steps, nodes)")
+        self.mean_ = float(values.mean())
+        self.scale_ = float(values.std()) or 1.0
+        scaled = (values - self.mean_) / self.scale_
+        x, y = self._build_samples(scaled)
+        num_samples, num_features = x.shape
+        self.weights_ = np.zeros((self.horizon, num_features))
+        self.biases_ = np.zeros(self.horizon)
+        for step in range(self.horizon):
+            w = np.zeros(num_features)
+            b = 0.0
+            lr = self.learning_rate
+            for _ in range(self.iterations):
+                residual = y[:, step] - (x @ w + b)
+                outside = np.abs(residual) > self.epsilon
+                sign = np.sign(residual) * outside
+                grad_w = w - self.c * (x * sign[:, None]).sum(axis=0) / num_samples
+                grad_b = -self.c * sign.sum() / num_samples
+                w -= lr * grad_w
+                b -= lr * grad_b
+            self.weights_[step] = w
+            self.biases_[step] = b
+        self._fitted = True
+        return self
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        history = self._check_history(history)
+        window = history[-self.history :]
+        if window.shape[0] < self.history:
+            pad = np.repeat(window[:1], self.history - window.shape[0], axis=0)
+            window = np.concatenate([pad, window], axis=0)
+        features = ((window - self.mean_) / self.scale_).T  # (N, history)
+        scaled_prediction = features @ self.weights_.T + self.biases_  # (N, horizon)
+        return (scaled_prediction * self.scale_ + self.mean_).T

@@ -1,0 +1,60 @@
+"""Vector autoregression (VAR) baseline.
+
+The VAR(p) model regresses every node's next value on the last ``p``
+observations of *all* nodes jointly.  The coefficient matrix is estimated by
+ridge-regularised least squares; when the node count is large the design is
+huge (``N·p`` features per target), which is exactly why the paper reports
+VAR only as a weak classical baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ClassicalForecaster
+
+
+class VARForecaster(ClassicalForecaster):
+    """VAR(p) with ridge-regularised least squares."""
+
+    def __init__(self, history: int, horizon: int, order: int = 3, ridge: float = 1.0):
+        super().__init__(history, horizon)
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self.ridge = ridge
+        self.coefficients_: np.ndarray | None = None  # (N*p + 1, N)
+        self.num_nodes_: int | None = None
+
+    def fit(self, values: np.ndarray) -> "VARForecaster":
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise ValueError("values must be (steps, nodes)")
+        steps, nodes = values.shape
+        if steps <= self.order + 1:
+            raise ValueError("not enough observations to fit the VAR model")
+        self.num_nodes_ = nodes
+        targets = values[self.order :]
+        design_blocks = [values[self.order - k - 1 : steps - k - 1] for k in range(self.order)]
+        design = np.concatenate(design_blocks + [np.ones((targets.shape[0], 1))], axis=1)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self.coefficients_ = np.linalg.solve(gram, design.T @ targets)
+        self._fitted = True
+        return self
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        history = self._check_history(history)
+        if history.shape[1] != self.num_nodes_:
+            raise ValueError("history node count does not match the fitted model")
+        if history.shape[0] < self.order:
+            pad = np.repeat(history[:1], self.order - history.shape[0], axis=0)
+            history = np.concatenate([pad, history], axis=0)
+        window = history[-self.order :].copy()
+        forecasts = np.zeros((self.horizon, self.num_nodes_))
+        for step in range(self.horizon):
+            features = np.concatenate([window[::-1].reshape(-1), [1.0]])
+            prediction = features @ self.coefficients_
+            forecasts[step] = prediction
+            window = np.concatenate([window[1:], prediction[None, :]], axis=0)
+        return forecasts

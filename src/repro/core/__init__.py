@@ -1,0 +1,38 @@
+"""SAGDFN — the paper's primary contribution.
+
+The pieces map one-to-one onto Section IV of the paper:
+
+* :class:`SignificantNeighborsSampling` — Algorithm 1, selecting the ``M``
+  globally significant neighbour indices ``I``.
+* :class:`SparseSpatialMultiHeadAttention` — Eq. 1–6, producing the slim
+  dense adjacency matrix ``A_s ∈ R^{N×M}`` refined by α-entmax.
+* :class:`FastGraphConv` / :class:`OneStepFastGConvCell` — Eq. 9–10, the
+  slim graph diffusion plugged into a GRU.
+* :class:`SAGDFNEncoderDecoder` and :class:`SAGDFN` — the end-to-end
+  encoder–decoder forecaster.
+* :class:`Trainer` — Algorithm 2, the joint end-to-end training loop.
+* :mod:`repro.core.complexity` — the analytic computation/memory model of
+  Table I and Examples 1–2.
+"""
+
+from repro.core.config import SAGDFNConfig
+from repro.core.sampling import SignificantNeighborsSampling
+from repro.core.attention import SparseSpatialMultiHeadAttention
+from repro.core.gconv import FastGraphConv, OneStepFastGConvCell
+from repro.core.encoder_decoder import SAGDFNEncoderDecoder
+from repro.core.model import SAGDFN
+from repro.core.trainer import Trainer, TrainingHistory
+from repro.core import complexity
+
+__all__ = [
+    "SAGDFNConfig",
+    "SignificantNeighborsSampling",
+    "SparseSpatialMultiHeadAttention",
+    "FastGraphConv",
+    "OneStepFastGConvCell",
+    "SAGDFNEncoderDecoder",
+    "SAGDFN",
+    "Trainer",
+    "TrainingHistory",
+    "complexity",
+]

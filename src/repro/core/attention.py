@@ -1,0 +1,102 @@
+"""Sparse Spatial Multi-Head Attention (Section IV-B, Eq. 1–6).
+
+Given the node embedding matrix ``E ∈ R^{N×d}`` and the significant-neighbour
+index set ``I`` (|I| = M), the module scores every (node, significant
+neighbour) pair with ``P`` independent feed-forward networks, normalises each
+head's scores with α-entmax along the neighbour axis to enforce sparsity, and
+mixes the heads with a linear map ``W_a`` into the slim dense adjacency
+``A_s ∈ R^{N×M}`` consumed by the fast graph convolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import FeedForward, Linear
+from repro.nn.module import Module
+from repro.sparse import alpha_entmax
+from repro.tensor import Tensor, concat
+
+
+class SparseSpatialMultiHeadAttention(Module):
+    """Learn the slim dense adjacency matrix ``A_s`` from node embeddings.
+
+    Parameters
+    ----------
+    embedding_dim:
+        ``d`` — width of each node embedding.
+    num_heads:
+        ``P`` — number of pair-wise scoring feed-forward networks.
+    ffn_hidden:
+        Hidden width of each scoring FFN.
+    alpha:
+        α of the α-entmax normaliser; ``normalizer="softmax"`` forces α = 1
+        regardless (the "w/o Entmax" ablation).
+    use_pairwise_attention:
+        When ``False`` the slim adjacency is the normalised inner product
+        ``E E_Iᵀ`` (the "w/o Attention" ablation).
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        num_heads: int = 8,
+        ffn_hidden: int = 32,
+        alpha: float = 1.5,
+        normalizer: str = "entmax",
+        use_pairwise_attention: bool = True,
+        seed: int | None = 0,
+    ):
+        super().__init__()
+        if num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        if normalizer not in {"entmax", "softmax"}:
+            raise ValueError("normalizer must be 'entmax' or 'softmax'")
+        base = 0 if seed is None else seed
+        self.embedding_dim = embedding_dim
+        self.num_heads = num_heads
+        self.alpha = 1.0 if normalizer == "softmax" else alpha
+        self.use_pairwise_attention = use_pairwise_attention
+        self.heads = [
+            FeedForward(2 * embedding_dim, ffn_hidden, 2, activation="relu", seed=base + 10 * p)
+            for p in range(num_heads)
+        ]
+        self.mixer = Linear(2 * num_heads, 1, seed=base + 997)
+
+    def forward(self, embeddings: Tensor, index_set: np.ndarray) -> Tensor:
+        """Return the slim adjacency ``A_s`` of shape ``(N, M)``.
+
+        ``embeddings`` is the differentiable node embedding matrix ``E``;
+        gradients flow back into it through the attention scores, which is
+        how the index set and adjacency keep improving during training
+        (Algorithm 2, lines 5–7).
+        """
+        index_set = np.asarray(index_set, dtype=np.int64)
+        num_nodes = embeddings.shape[0]
+        num_significant = index_set.shape[0]
+        neighbour_embeddings = embeddings[index_set]  # (M, d)
+
+        if not self.use_pairwise_attention:
+            scores = embeddings.matmul(neighbour_embeddings.transpose())  # (N, M)
+            return alpha_entmax(scores, alpha=self.alpha, axis=-1)
+
+        # Eq. 1: pair every node with every significant neighbour.
+        expanded_nodes = embeddings.unsqueeze(1).broadcast_to(
+            (num_nodes, num_significant, self.embedding_dim)
+        )
+        expanded_neighbours = neighbour_embeddings.unsqueeze(0).broadcast_to(
+            (num_nodes, num_significant, self.embedding_dim)
+        )
+        pairs = concat([expanded_nodes, expanded_neighbours], axis=-1)  # (N, M, 2d)
+
+        # Eq. 2–4: score with P FFNs and sparsify along the neighbour axis.
+        head_outputs = []
+        for head in self.heads:
+            raw = head(pairs)  # (N, M, 2)
+            normalised = alpha_entmax(raw, alpha=self.alpha, axis=1)
+            head_outputs.append(normalised)
+        multi_head = concat(head_outputs, axis=-1)  # (N, M, 2P)
+
+        # Eq. 5–6: mix the heads into a single correlation strength per pair.
+        slim_adjacency = self.mixer(multi_head).squeeze(-1)  # (N, M)
+        return slim_adjacency

@@ -1,0 +1,139 @@
+"""Encoder–decoder forecaster built from OneStepFastGConv cells (Section IV-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gconv import OneStepFastGConvCell
+from repro.nn.module import Module
+from repro.tensor import Tensor, concat, stack
+from repro.utils.seed import spawn_rng
+
+
+class SAGDFNEncoderDecoder(Module):
+    """Sequence-to-sequence forecaster of Algorithm 2 (lines 8–12).
+
+    The encoder consumes the ``h`` historical observations and compresses
+    them into the hidden state ``H_{t0-1}``; the decoder is seeded with the
+    last observation ``X_{t0}`` and rolls forward ``f`` steps, feeding each
+    prediction back as the next input.
+
+    Parameters
+    ----------
+    input_dim:
+        Channels of the encoder input (target + covariates).
+    hidden_dim:
+        ``D`` — GRU hidden width.
+    output_dim:
+        Channels being forecast (1 in the paper).
+    horizon:
+        ``f`` — number of decoding steps.
+    diffusion_steps:
+        ``J`` of the fast graph convolution.
+    num_layers:
+        Number of stacked recurrent layers (the paper uses 1).
+    teacher_forcing:
+        Probability of feeding the ground truth instead of the prediction to
+        the decoder during training (scheduled-sampling style curriculum).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        output_dim: int = 1,
+        horizon: int = 12,
+        diffusion_steps: int = 2,
+        num_layers: int = 1,
+        teacher_forcing: float = 0.0,
+        seed: int | None = 0,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        base = 0 if seed is None else seed
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.output_dim = output_dim
+        self.horizon = horizon
+        self.num_layers = num_layers
+        self.teacher_forcing = teacher_forcing
+        self._rng = spawn_rng(base + 123)
+
+        self.encoder_cells = [
+            OneStepFastGConvCell(
+                input_dim if layer == 0 else hidden_dim,
+                hidden_dim,
+                output_dim,
+                diffusion_steps,
+                seed=base + layer,
+            )
+            for layer in range(num_layers)
+        ]
+        self.decoder_cells = [
+            OneStepFastGConvCell(
+                output_dim if layer == 0 else hidden_dim,
+                hidden_dim,
+                output_dim,
+                diffusion_steps,
+                seed=base + 100 + layer,
+            )
+            for layer in range(num_layers)
+        ]
+
+    def _run_stack(
+        self,
+        cells: list[OneStepFastGConvCell],
+        x: Tensor,
+        hiddens: list[Tensor],
+        adjacency: Tensor,
+        index_set: np.ndarray | None,
+    ) -> tuple[list[Tensor], Tensor]:
+        """Push one time step through the stacked cells."""
+        new_hiddens: list[Tensor] = []
+        current = x
+        prediction = None
+        for cell, hidden in zip(cells, hiddens):
+            hidden, prediction = cell(current, hidden, adjacency, index_set)
+            new_hiddens.append(hidden)
+            current = hidden
+        return new_hiddens, prediction
+
+    def forward(
+        self,
+        history: Tensor,
+        adjacency: Tensor,
+        index_set: np.ndarray | None = None,
+        targets: Tensor | None = None,
+    ) -> Tensor:
+        """Forecast ``horizon`` steps from ``history`` of shape ``(B, h, N, C)``.
+
+        ``targets`` (shape ``(B, f, N, output_dim)``) enables teacher forcing
+        during training; evaluation never passes targets.
+        """
+        if history.ndim != 4:
+            raise ValueError(f"history must be (batch, steps, nodes, channels), got {history.shape}")
+        batch, steps, num_nodes, _ = history.shape
+
+        encoder_hiddens = [cell.initial_state(batch, num_nodes) for cell in self.encoder_cells]
+        for t in range(steps):
+            encoder_hiddens, _ = self._run_stack(
+                self.encoder_cells, history[:, t], encoder_hiddens, adjacency, index_set
+            )
+
+        decoder_hiddens = encoder_hiddens
+        decoder_input = history[:, -1, :, : self.output_dim]
+        predictions: list[Tensor] = []
+        for step in range(self.horizon):
+            decoder_hiddens, prediction = self._run_stack(
+                self.decoder_cells, decoder_input, decoder_hiddens, adjacency, index_set
+            )
+            predictions.append(prediction)
+            use_truth = (
+                targets is not None
+                and self.training
+                and self.teacher_forcing > 0.0
+                and self._rng.random() < self.teacher_forcing
+            )
+            decoder_input = targets[:, step] if use_truth else prediction
+        return stack(predictions, axis=1)

@@ -1,0 +1,122 @@
+"""Significant Neighbors Sampling (Algorithm 1 of the paper).
+
+The module maintains a fixed *candidate neighbours* matrix
+``C ∈ {1..N}^{N×M}`` (each row lists ``M`` distinct candidate neighbours of a
+node) and, given the current node embeddings ``E``, selects the ``M`` node
+indices that are globally most significant:
+
+1. rank every node's candidates by Euclidean distance in embedding space,
+2. count how often each node id appears within the top-``K`` positions across
+   all rows,
+3. keep the ``K`` ids with the highest counts, and
+4. fill the remaining ``M − K`` slots with nodes sampled uniformly from the
+   rest to keep exploring until training converges (iteration ``r``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.seed import spawn_rng
+
+
+class SignificantNeighborsSampling:
+    """Stateful implementation of Algorithm 1.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``N``.
+    num_significant:
+        ``M`` — size of the returned index set (also the number of candidate
+        neighbours per node).
+    top_k:
+        ``K`` — number of slots filled by the globally most frequent nodes;
+        the remaining ``M − K`` slots are sampled randomly for exploration.
+    seed:
+        Seed of the candidate construction and of the exploration sampling.
+    """
+
+    def __init__(self, num_nodes: int, num_significant: int, top_k: int, seed: int | None = 0):
+        if num_significant > num_nodes:
+            raise ValueError("num_significant cannot exceed num_nodes")
+        if not 0 < top_k <= num_significant:
+            raise ValueError("top_k must satisfy 0 < top_k <= num_significant")
+        self.num_nodes = num_nodes
+        self.num_significant = num_significant
+        self.top_k = top_k
+        self._rng = spawn_rng(seed)
+        self.candidates = self._build_candidates()
+        self._last_index_set: np.ndarray | None = None
+
+    def _build_candidates(self) -> np.ndarray:
+        """Randomly construct the candidate matrix ``C``.
+
+        Each row holds ``M`` distinct node ids (excluding the row's own node
+        whenever possible), so that across rows every node is considered
+        roughly ``M`` times, as required by the paper.
+        """
+        n, m = self.num_nodes, self.num_significant
+        candidates = np.empty((n, m), dtype=np.int64)
+        for node in range(n):
+            pool = np.delete(np.arange(n), node) if n > m else np.arange(n)
+            candidates[node] = self._rng.choice(pool, size=m, replace=False)
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1
+    # ------------------------------------------------------------------ #
+    def sample(self, embeddings: np.ndarray, explore: bool = True) -> np.ndarray:
+        """Return the index set ``I`` of the ``M`` most significant neighbours.
+
+        Parameters
+        ----------
+        embeddings:
+            Current node embedding matrix ``E`` of shape ``(N, d)`` (a plain
+            array — the sampling step itself is not differentiated through,
+            exactly as in the paper where ``I`` is a discrete index set).
+        explore:
+            When ``True`` (before convergence iteration ``r``), the last
+            ``M − K`` slots are filled with uniformly sampled nodes; when
+            ``False`` they are filled with the next most frequent nodes so the
+            index set becomes deterministic.
+        """
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.shape[0] != self.num_nodes:
+            raise ValueError(
+                f"embeddings have {embeddings.shape[0]} rows, expected {self.num_nodes}"
+            )
+        # Distance of every node to each of its M candidates (lines 1–4).
+        candidate_embeddings = embeddings[self.candidates]  # (N, M, d)
+        distances = np.linalg.norm(candidate_embeddings - embeddings[:, None, :], axis=-1)
+        # Sort each candidate row by distance (line 5).
+        order = np.argsort(distances, axis=1)
+        sorted_candidates = np.take_along_axis(self.candidates, order, axis=1)
+        # Frequency of node ids in the global top-K positions (line 6).
+        top_candidates = sorted_candidates[:, : self.top_k]
+        counts = np.bincount(top_candidates.reshape(-1), minlength=self.num_nodes)
+        ranked = np.argsort(-counts, kind="stable")
+        significant = ranked[: self.top_k]
+        remaining_slots = self.num_significant - self.top_k
+        if remaining_slots > 0:
+            if explore:
+                pool = np.setdiff1d(np.arange(self.num_nodes), significant, assume_unique=False)
+                extra = self._rng.choice(pool, size=remaining_slots, replace=False)
+            else:
+                extra = ranked[self.top_k : self.top_k + remaining_slots]
+            index_set = np.concatenate([significant, extra])
+        else:
+            index_set = significant
+        self._last_index_set = index_set
+        return index_set
+
+    @property
+    def last_index_set(self) -> np.ndarray | None:
+        """The most recently sampled index set (``None`` before the first call)."""
+        return self._last_index_set
+
+    def random_index_set(self) -> np.ndarray:
+        """Uniformly random index set — used by the "w/o SNS" ablation."""
+        index_set = self._rng.choice(self.num_nodes, size=self.num_significant, replace=False)
+        self._last_index_set = index_set
+        return index_set

@@ -1,0 +1,23 @@
+"""Time-series data substrate.
+
+Provides the containers, scalers, window datasets and batching loaders shared
+by every model in the repository, plus synthetic stand-ins for the four
+real-world datasets of the paper (METR-LA, London2000, NewYork2000,
+CARPARK1918) under :mod:`repro.data.synthetic`.
+"""
+
+from repro.data.timeseries import MultivariateTimeSeries
+from repro.data.scalers import MinMaxScaler, StandardScaler
+from repro.data.windows import SlidingWindowDataset
+from repro.data.loader import DataLoader
+from repro.data.splits import chronological_split, SplitRatios
+
+__all__ = [
+    "MultivariateTimeSeries",
+    "StandardScaler",
+    "MinMaxScaler",
+    "SlidingWindowDataset",
+    "DataLoader",
+    "chronological_split",
+    "SplitRatios",
+]

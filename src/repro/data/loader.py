@@ -1,0 +1,53 @@
+"""Mini-batch loader over a :class:`~repro.data.windows.SlidingWindowDataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.windows import SlidingWindowDataset
+from repro.utils.seed import spawn_rng
+
+
+class DataLoader:
+    """Iterate over ``(x, y)`` mini-batches.
+
+    Batches are NumPy arrays shaped ``(batch, history, N, C)`` and
+    ``(batch, horizon, N, 1)``; shuffling (training mode) re-permutes sample
+    order every epoch with its own RNG so epochs are reproducible given the
+    seed.
+    """
+
+    def __init__(
+        self,
+        dataset: SlidingWindowDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: int | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = spawn_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            xs, ys = zip(*(self.dataset[int(i)] for i in indices))
+            yield np.stack(xs), np.stack(ys)

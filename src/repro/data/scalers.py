@@ -1,0 +1,71 @@
+"""Feature scalers fit on the training split and applied everywhere."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Z-score scaler ``(x - mean) / std`` fit on channel 0 of the training data.
+
+    The traffic-forecasting convention (followed by the paper's code base) is
+    to normalise only the target channel; time-of-day covariates are already
+    in ``[0, 1)``.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: float | None = None
+        self.std_: float | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        self.mean_ = float(values.mean())
+        std = float(values.std())
+        self.std_ = std if std > 1e-12 else 1.0
+        return self
+
+    def _check(self) -> None:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler must be fit before use")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check()
+        return (np.asarray(values, dtype=np.float64) - self.mean_) / self.std_
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check()
+        return np.asarray(values, dtype=np.float64) * self.std_ + self.mean_
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+
+class MinMaxScaler:
+    """Scale values into ``[0, 1]`` using the training minimum and maximum."""
+
+    def __init__(self) -> None:
+        self.min_: float | None = None
+        self.max_: float | None = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        values = np.asarray(values, dtype=np.float64)
+        self.min_ = float(values.min())
+        self.max_ = float(values.max())
+        if self.max_ - self.min_ < 1e-12:
+            self.max_ = self.min_ + 1.0
+        return self
+
+    def _check(self) -> None:
+        if self.min_ is None or self.max_ is None:
+            raise RuntimeError("scaler must be fit before use")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check()
+        return (np.asarray(values, dtype=np.float64) - self.min_) / (self.max_ - self.min_)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check()
+        return np.asarray(values, dtype=np.float64) * (self.max_ - self.min_) + self.min_
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)

@@ -1,0 +1,43 @@
+"""Chronological train / validation / test splitting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.timeseries import MultivariateTimeSeries
+
+
+@dataclass(frozen=True)
+class SplitRatios:
+    """Fractions of the series assigned to each split.
+
+    The paper uses 70% / 10% / 20%, the convention shared by DCRNN, Graph
+    WaveNet, GTS and STEP.
+    """
+
+    train: float = 0.7
+    val: float = 0.1
+    test: float = 0.2
+
+    def __post_init__(self) -> None:
+        total = self.train + self.val + self.test
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"split ratios must sum to 1, got {total}")
+        if min(self.train, self.val, self.test) <= 0:
+            raise ValueError("all split ratios must be positive")
+
+
+def chronological_split(
+    series: MultivariateTimeSeries, ratios: SplitRatios = SplitRatios()
+) -> tuple[MultivariateTimeSeries, MultivariateTimeSeries, MultivariateTimeSeries]:
+    """Split a series into contiguous train / val / test segments (no shuffling)."""
+    total = series.num_steps
+    train_end = int(round(total * ratios.train))
+    val_end = train_end + int(round(total * ratios.val))
+    train_end = max(1, min(train_end, total - 2))
+    val_end = max(train_end + 1, min(val_end, total - 1))
+    return (
+        series.slice_steps(0, train_end),
+        series.slice_steps(train_end, val_end),
+        series.slice_steps(val_end, total),
+    )

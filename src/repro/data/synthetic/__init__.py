@@ -1,0 +1,36 @@
+"""Synthetic stand-ins for the paper's four real-world datasets.
+
+The real METR-LA, London2000, NewYork2000 and CARPARK1918 datasets cannot be
+redistributed or downloaded offline, so this package provides procedural
+generators that reproduce the statistical structure those datasets expose to
+the models under study:
+
+* a road network with local connectivity (``road_network``),
+* traffic-speed series whose congestion propagates *along that network* with
+  rush-hour seasonality and sensor noise (``traffic``), and
+* car-park availability series with capacity ceilings and daily occupancy
+  cycles (``carpark``).
+
+Each named configuration (``metr_la_like``, ``london200_like``,
+``london2000_like``, ``newyork2000_like``, ``carpark1918_like``) matches the
+node count, sampling interval, and history/horizon lengths of the paper's
+Table II, but defaults to a shorter time range so that experiments complete
+on a CPU; the full-scale time range is a parameter.
+"""
+
+from repro.data.synthetic.road_network import RoadNetwork, generate_road_network
+from repro.data.synthetic.traffic import TrafficConfig, generate_traffic_dataset
+from repro.data.synthetic.carpark import CarparkConfig, generate_carpark_dataset
+from repro.data.synthetic.registry import DATASET_REGISTRY, DatasetSpec, load_dataset
+
+__all__ = [
+    "RoadNetwork",
+    "generate_road_network",
+    "TrafficConfig",
+    "generate_traffic_dataset",
+    "CarparkConfig",
+    "generate_carpark_dataset",
+    "DatasetSpec",
+    "DATASET_REGISTRY",
+    "load_dataset",
+]

@@ -1,0 +1,30 @@
+"""Evaluation harness: per-horizon evaluation, memory/OOM model, cost profiling, result tables."""
+
+from repro.evaluation.evaluator import (
+    collect_predictions,
+    evaluate_classical,
+    evaluate_neural,
+)
+from repro.evaluation.memory import (
+    DEFAULT_GPU_MEMORY_GB,
+    MemoryEstimate,
+    estimate_training_memory_gb,
+    max_trainable_nodes,
+    would_oom,
+)
+from repro.evaluation.cost import CostReport, measure_cost
+from repro.evaluation.results import ResultTable
+
+__all__ = [
+    "evaluate_neural",
+    "evaluate_classical",
+    "collect_predictions",
+    "estimate_training_memory_gb",
+    "would_oom",
+    "max_trainable_nodes",
+    "MemoryEstimate",
+    "DEFAULT_GPU_MEMORY_GB",
+    "CostReport",
+    "measure_cost",
+    "ResultTable",
+]

@@ -1,0 +1,80 @@
+"""Per-horizon evaluation of neural and classical forecasters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ClassicalForecaster
+from repro.baselines.historical_average import HistoricalAverage
+from repro.data.loader import DataLoader
+from repro.data.scalers import StandardScaler
+from repro.metrics import HorizonMetrics, horizon_metrics
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad
+
+
+def collect_predictions(
+    model: Module,
+    loader: DataLoader,
+    scaler: StandardScaler | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run ``model`` over every batch of ``loader`` and stack predictions/targets.
+
+    Predictions are inverse-transformed with ``scaler`` so both arrays are in
+    original units, shaped ``(samples, horizon, N, 1)``.
+    """
+    model.eval()
+    predictions, targets = [], []
+    with no_grad():
+        for batch_x, batch_y in loader:
+            output = model(Tensor(batch_x)).data
+            if scaler is not None:
+                output = scaler.inverse_transform(output)
+            predictions.append(output)
+            targets.append(batch_y)
+    model.train()
+    return np.concatenate(predictions, axis=0), np.concatenate(targets, axis=0)
+
+
+def evaluate_neural(
+    model: Module,
+    loader: DataLoader,
+    scaler: StandardScaler | None = None,
+    horizons: tuple[int, ...] = (3, 6, 12),
+    null_value: float | None = 0.0,
+) -> list[HorizonMetrics]:
+    """Per-horizon metrics of a trained neural forecaster on ``loader``."""
+    predictions, targets = collect_predictions(model, loader, scaler)
+    return horizon_metrics(predictions, targets, horizons=horizons, null_value=null_value)
+
+
+def evaluate_classical(
+    model: ClassicalForecaster,
+    test_values: np.ndarray,
+    history: int,
+    horizon: int,
+    horizons: tuple[int, ...] = (3, 6, 12),
+    null_value: float | None = 0.0,
+    stride: int = 1,
+    global_step_offset: int = 0,
+) -> list[HorizonMetrics]:
+    """Slide a fitted classical forecaster over the test series and score it.
+
+    ``test_values`` has shape ``(T, N)``; windows are advanced by ``stride``
+    steps (``stride > 1`` keeps the classical baselines cheap on long series).
+    """
+    test_values = np.asarray(test_values, dtype=np.float64)
+    steps = test_values.shape[0]
+    predictions, targets = [], []
+    for start in range(0, steps - history - horizon + 1, stride):
+        window = test_values[start : start + history]
+        target = test_values[start + history : start + history + horizon]
+        if isinstance(model, HistoricalAverage):
+            forecast = model.predict(window, start_step=global_step_offset + start + history)
+        else:
+            forecast = model.predict(window)
+        predictions.append(forecast)
+        targets.append(target)
+    prediction = np.stack(predictions)[..., None]
+    target = np.stack(targets)[..., None]
+    return horizon_metrics(prediction, target, horizons=horizons, null_value=null_value)

@@ -1,0 +1,72 @@
+"""Result-table formatting shared by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics import HorizonMetrics
+
+
+@dataclass
+class ResultTable:
+    """A table of per-model, per-horizon metrics in the layout of Tables III–IX."""
+
+    title: str
+    horizons: tuple[int, ...] = (3, 6, 12)
+    rows: dict[str, list[HorizonMetrics] | None] = field(default_factory=dict)
+
+    def add(self, model: str, metrics: list[HorizonMetrics] | None) -> None:
+        """Add one model's metrics; ``None`` marks an OOM entry (``×``)."""
+        self.rows[model] = metrics
+
+    def oom_models(self) -> list[str]:
+        """Models recorded as out-of-memory."""
+        return [model for model, metrics in self.rows.items() if metrics is None]
+
+    def best_model(self, horizon: int, metric: str = "mae") -> str:
+        """Model with the lowest value of ``metric`` at ``horizon``."""
+        best_name, best_value = None, float("inf")
+        for model, metrics in self.rows.items():
+            if metrics is None:
+                continue
+            for entry in metrics:
+                if entry.horizon == horizon and getattr(entry, metric) < best_value:
+                    best_name, best_value = model, getattr(entry, metric)
+        if best_name is None:
+            raise ValueError(f"no metrics recorded for horizon {horizon}")
+        return best_name
+
+    def get(self, model: str, horizon: int) -> HorizonMetrics | None:
+        """Metrics of ``model`` at ``horizon`` (``None`` if OOM)."""
+        metrics = self.rows.get(model)
+        if metrics is None:
+            return None
+        for entry in metrics:
+            if entry.horizon == horizon:
+                return entry
+        raise KeyError(f"horizon {horizon} not recorded for {model}")
+
+    def to_text(self) -> str:
+        """Render the table in the layout of the paper (one row per model)."""
+        header_cells = ["model".ljust(14)]
+        for horizon in self.horizons:
+            header_cells.append(f"H{horizon} MAE".rjust(9))
+            header_cells.append(f"H{horizon} RMSE".rjust(10))
+            header_cells.append(f"H{horizon} MAPE".rjust(10))
+        lines = [self.title, " ".join(header_cells)]
+        for model, metrics in self.rows.items():
+            cells = [model.ljust(14)]
+            if metrics is None:
+                cells.extend(["×".rjust(9), "×".rjust(10), "×".rjust(10)] * len(self.horizons))
+            else:
+                by_horizon = {entry.horizon: entry for entry in metrics}
+                for horizon in self.horizons:
+                    entry = by_horizon[horizon]
+                    cells.append(f"{entry.mae:9.3f}")
+                    cells.append(f"{entry.rmse:10.3f}")
+                    cells.append(f"{entry.mape * 100:9.1f}%")
+            lines.append(" ".join(cells))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()

@@ -1,0 +1,24 @@
+"""Experiment drivers — one module per table / figure of the paper's evaluation.
+
+Every driver exposes a ``run_*`` function with two kinds of parameters:
+
+* *shape* parameters fixed by the paper (which models, which dataset, which
+  horizons), and
+* *scale* parameters (node count, series length, epochs, hidden sizes) that
+  default to CPU-friendly values and can be raised to the paper's full
+  setting.
+
+The :mod:`repro.experiments.runner` module provides a uniform entry point
+used by the benchmark suite and the example scripts.
+"""
+
+from repro.experiments.common import ExperimentData, prepare_data, train_neural_model
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentData",
+    "prepare_data",
+    "train_neural_model",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,87 @@
+"""Command-line entry point for the experiment drivers.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments table1
+    python -m repro.experiments table3 --num-nodes 48 --num-steps 1000 --epochs 3
+    python -m repro.experiments table8 --num-nodes 40 --epochs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evaluation import ResultTable
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def _print_result(name: str, result) -> None:
+    """Render whatever structure the driver returned in a terminal-friendly way."""
+    if isinstance(result, ResultTable):
+        print(result.to_text())
+        return
+    if isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, ResultTable):
+                print(value.to_text())
+            else:
+                print(f"{key}: {value}")
+        return
+    if isinstance(result, list):
+        for item in result:
+            print(item)
+        return
+    print(result)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one of the paper's tables or figures.",
+    )
+    parser.add_argument("experiment", nargs="?", choices=sorted(EXPERIMENTS),
+                        help="experiment id (table1..table10, fig2..fig4)")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument("--num-nodes", type=int, default=None, help="override the node count")
+    parser.add_argument("--num-steps", type=int, default=None, help="override the series length")
+    parser.add_argument("--epochs", type=int, default=None, help="override the training epochs")
+    parser.add_argument("--batch-size", type=int, default=None, help="override the batch size")
+    parser.add_argument("--seed", type=int, default=None, help="override the random seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.experiment is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+    overrides = {
+        key: value
+        for key, value in {
+            "num_nodes": args.num_nodes,
+            "num_steps": args.num_steps,
+            "epochs": args.epochs,
+            "batch_size": args.batch_size,
+            "seed": args.seed,
+        }.items()
+        if value is not None
+    }
+    if args.experiment == "table1":
+        overrides.pop("num_steps", None)
+        overrides.pop("epochs", None)
+        overrides.pop("batch_size", None)
+        overrides.pop("seed", None)
+    if args.experiment == "table10":
+        overrides.pop("epochs", None)
+    result = run_experiment(args.experiment, **overrides)
+    _print_result(args.experiment, result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""Shared plumbing for the experiment drivers.
+
+The paper's experimental protocol (Section V-A) is implemented once here:
+70/10/20 chronological split, z-score normalisation of the target channel
+fit on the training split, time-of-day covariate appended to the model input,
+masked metrics in original units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import build_baseline
+from repro.baselines.base import ClassicalForecaster
+from repro.core import SAGDFN, SAGDFNConfig, Trainer
+from repro.data import (
+    DataLoader,
+    MultivariateTimeSeries,
+    SlidingWindowDataset,
+    StandardScaler,
+    chronological_split,
+)
+from repro.data.synthetic import load_dataset
+from repro.evaluation import evaluate_classical, evaluate_neural
+from repro.metrics import HorizonMetrics
+from repro.nn.module import Module
+from repro.optim import Adam
+
+
+@dataclass
+class ExperimentData:
+    """Everything a driver needs to train and evaluate on one dataset."""
+
+    name: str
+    series: MultivariateTimeSeries
+    train: MultivariateTimeSeries
+    val: MultivariateTimeSeries
+    test: MultivariateTimeSeries
+    scaler: StandardScaler
+    train_loader: DataLoader
+    val_loader: DataLoader
+    test_loader: DataLoader
+    history: int
+    horizon: int
+    batch_size: int
+    adjacency: np.ndarray | None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.series.num_nodes
+
+    @property
+    def input_dim(self) -> int:
+        """Model input channels: target + time-of-day covariate."""
+        return 2
+
+    @property
+    def steps_per_day(self) -> int:
+        return (24 * 60) // self.series.step_minutes
+
+    def train_values(self) -> np.ndarray:
+        """Raw training targets ``(T, N)`` for the classical baselines and GTS features."""
+        return self.train.values[:, :, 0]
+
+    def test_values(self) -> np.ndarray:
+        """Raw test targets ``(T, N)`` for the classical baselines."""
+        return self.test.values[:, :, 0]
+
+
+def _make_loader(
+    split: MultivariateTimeSeries,
+    scaler: StandardScaler,
+    history: int,
+    horizon: int,
+    batch_size: int,
+    shuffle: bool,
+    seed: int,
+) -> DataLoader:
+    with_covariates = split.with_time_covariates()
+    with_covariates.values[..., 0] = scaler.transform(with_covariates.values[..., 0])
+    dataset = SlidingWindowDataset(with_covariates, history, horizon, target_series=split)
+    return DataLoader(dataset, batch_size=batch_size, shuffle=shuffle, seed=seed)
+
+
+def prepare_data_from_series(
+    series: MultivariateTimeSeries,
+    history: int,
+    horizon: int,
+    batch_size: int = 16,
+    seed: int = 0,
+    name: str | None = None,
+) -> ExperimentData:
+    """Split an existing series and build the three data loaders.
+
+    Follows the paper's 70/10/20 chronological split, but guarantees that the
+    validation and test segments are long enough to hold at least one
+    ``history + horizon`` window (relevant for short, CPU-scale series).
+    """
+    total = series.num_steps
+    required = history + horizon
+    val_steps = max(int(round(total * 0.1)), required)
+    test_steps = max(int(round(total * 0.2)), required)
+    train_steps = total - val_steps - test_steps
+    if train_steps < required:
+        raise ValueError(
+            f"series of length {total} is too short for history={history}, horizon={horizon} "
+            "with a 70/10/20 split"
+        )
+    train = series.slice_steps(0, train_steps)
+    val = series.slice_steps(train_steps, train_steps + val_steps)
+    test = series.slice_steps(train_steps + val_steps, total)
+    scaler = StandardScaler().fit(train.values[..., 0])
+    return ExperimentData(
+        name=name or series.name,
+        series=series,
+        train=train,
+        val=val,
+        test=test,
+        scaler=scaler,
+        train_loader=_make_loader(train, scaler, history, horizon, batch_size, True, seed + 1),
+        val_loader=_make_loader(val, scaler, history, horizon, batch_size, False, seed + 2),
+        test_loader=_make_loader(test, scaler, history, horizon, batch_size, False, seed + 3),
+        history=history,
+        horizon=horizon,
+        batch_size=batch_size,
+        adjacency=series.adjacency,
+    )
+
+
+def prepare_data(
+    dataset_name: str,
+    num_nodes: int | None = None,
+    num_steps: int | None = None,
+    history: int | None = None,
+    horizon: int | None = None,
+    batch_size: int = 16,
+    seed: int = 0,
+) -> ExperimentData:
+    """Generate a dataset, split it and build the three data loaders."""
+    series, spec = load_dataset(dataset_name, num_nodes=num_nodes, num_steps=num_steps, seed=seed)
+    history = history if history is not None else spec.history
+    horizon = horizon if horizon is not None else spec.horizon
+    return prepare_data_from_series(
+        series, history, horizon, batch_size=batch_size, seed=seed, name=dataset_name
+    )
+
+
+def small_sagdfn_config(data: ExperimentData, **overrides) -> SAGDFNConfig:
+    """CPU-sized SAGDFN configuration for ``data`` (override any field)."""
+    num_nodes = data.num_nodes
+    defaults = dict(
+        num_nodes=num_nodes,
+        input_dim=data.input_dim,
+        output_dim=1,
+        history=data.history,
+        horizon=data.horizon,
+        embedding_dim=10,
+        num_significant=min(10, num_nodes),
+        top_k=min(8, num_nodes),
+        hidden_size=24,
+        num_heads=2,
+        ffn_hidden=12,
+        alpha=1.5,
+        diffusion_steps=2,
+        convergence_iteration=30,
+    )
+    defaults.update(overrides)
+    return SAGDFNConfig(**defaults)
+
+
+def train_neural_model(
+    model: Module,
+    data: ExperimentData,
+    epochs: int = 2,
+    learning_rate: float = 5e-3,
+    patience: int | None = None,
+) -> list[HorizonMetrics]:
+    """Train ``model`` with the shared protocol and return test metrics per horizon."""
+    trainer = Trainer(model, Adam(model.parameters(), lr=learning_rate), scaler=data.scaler)
+    trainer.fit(data.train_loader, data.val_loader, epochs=epochs, patience=patience)
+    horizons = _default_horizons(data.horizon)
+    return evaluate_neural(model, data.test_loader, data.scaler, horizons=horizons)
+
+
+def train_sagdfn(
+    data: ExperimentData,
+    epochs: int = 2,
+    learning_rate: float = 5e-3,
+    config: SAGDFNConfig | None = None,
+    **config_overrides,
+) -> tuple[SAGDFN, list[HorizonMetrics]]:
+    """Build, train and evaluate SAGDFN on ``data``."""
+    if config is None:
+        config = small_sagdfn_config(data, **config_overrides)
+    predefined = data.adjacency if config.use_predefined_graph else None
+    model = SAGDFN(config, predefined_adjacency=predefined)
+    metrics = train_neural_model(model, data, epochs=epochs, learning_rate=learning_rate)
+    return model, metrics
+
+
+def run_classical_baseline(name: str, data: ExperimentData) -> list[HorizonMetrics]:
+    """Fit a classical baseline on the training split and score it on the test split."""
+    model = build_baseline(
+        name,
+        num_nodes=data.num_nodes,
+        input_dim=data.input_dim,
+        history=data.history,
+        horizon=data.horizon,
+        steps_per_day=data.steps_per_day,
+    )
+    model.fit(data.train_values())
+    offset = data.train.num_steps + data.val.num_steps
+    return evaluate_classical(
+        model,
+        data.test_values(),
+        history=data.history,
+        horizon=data.horizon,
+        horizons=_default_horizons(data.horizon),
+        global_step_offset=offset,
+    )
+
+
+def run_neural_baseline(
+    name: str,
+    data: ExperimentData,
+    epochs: int = 2,
+    learning_rate: float = 5e-3,
+    hidden_size: int = 24,
+    seed: int = 0,
+) -> list[HorizonMetrics]:
+    """Build, train and score one neural baseline from the registry."""
+    model = build_baseline(
+        name,
+        num_nodes=data.num_nodes,
+        input_dim=data.input_dim,
+        history=data.history,
+        horizon=data.horizon,
+        adjacency=data.adjacency,
+        series_values=data.train_values(),
+        hidden_size=hidden_size,
+        seed=seed,
+    )
+    return train_neural_model(model, data, epochs=epochs, learning_rate=learning_rate)
+
+
+def _default_horizons(horizon: int) -> tuple[int, ...]:
+    """The paper's 3/6/12 horizons, restricted to what the dataset provides."""
+    return tuple(h for h in (3, 6, 12) if h <= horizon) or (horizon,)

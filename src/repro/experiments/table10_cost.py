@@ -1,0 +1,51 @@
+"""Table X: computation cost (parameters, training time per epoch, inference time).
+
+The paper profiles DCRNN, AGCRN, MTGNN, GTS, D2STGNN and SAGDFN on
+CARPARK1918; the headline findings are that SAGDFN has by far the fewest
+parameters and the lowest training / inference time.  The driver measures
+the re-implementations on a scaled-down CARPARK stand-in; absolute seconds
+differ from the paper's V100 numbers, but the ordering is what the benchmark
+asserts.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import build_baseline
+from repro.core import SAGDFN
+from repro.evaluation import CostReport, measure_cost
+from repro.experiments.common import prepare_data, small_sagdfn_config
+
+TABLE10_BASELINES: tuple[str, ...] = ("DCRNN", "AGCRN", "MTGNN", "GTS", "D2STGNN")
+
+
+def run_table10(
+    models: tuple[str, ...] = ("DCRNN", "AGCRN", "MTGNN", "GTS"),
+    num_nodes: int = 40,
+    num_steps: int = 600,
+    batch_size: int = 16,
+    max_batches: int = 3,
+    seed: int = 0,
+    dataset_name: str = "carpark1918_like",
+) -> list[CostReport]:
+    """Measure parameter counts and per-epoch cost of the Table X models + SAGDFN."""
+    unknown = set(models) - set(TABLE10_BASELINES)
+    if unknown:
+        raise ValueError(f"models not in Table X: {sorted(unknown)}")
+    data = prepare_data(dataset_name, num_nodes=num_nodes, num_steps=num_steps,
+                        batch_size=batch_size, seed=seed)
+    reports: list[CostReport] = []
+    for name in models:
+        model = build_baseline(
+            name,
+            num_nodes=data.num_nodes,
+            input_dim=data.input_dim,
+            history=data.history,
+            horizon=data.horizon,
+            adjacency=data.adjacency,
+            series_values=data.train_values(),
+            seed=seed,
+        )
+        reports.append(measure_cost(name, model, data.train_loader, max_batches=max_batches))
+    sagdfn = SAGDFN(small_sagdfn_config(data))
+    reports.append(measure_cost("SAGDFN", sagdfn, data.train_loader, max_batches=max_batches))
+    return reports

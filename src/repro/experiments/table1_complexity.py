@@ -1,0 +1,41 @@
+"""Table I + Examples 1–2: complexity of adaptive-weight-GNN forecasting methods."""
+
+from __future__ import annotations
+
+from repro.core.complexity import (
+    ComplexityProfile,
+    complexity_table,
+    example_memory_comparison,
+)
+
+
+def run_table1(
+    num_nodes: int = 2000,
+    embedding_dim: int = 100,
+    hidden_dim: int = 64,
+    num_significant: int = 100,
+) -> dict:
+    """Evaluate the complexity expressions of Table I at the paper's large-dataset setting.
+
+    Returns both the per-model profiles and the Example 1 / Example 2 memory
+    comparison, plus the reduction factors the paper highlights (``N / M`` in
+    both computation and memory).
+    """
+    profiles: list[ComplexityProfile] = complexity_table(
+        num_nodes, embedding_dim, hidden_dim, num_significant
+    )
+    by_model = {profile.model: profile for profile in profiles}
+    reduction_vs_gts = {
+        "computation": by_model["GTS"].computation / by_model["SAGDFN"].computation,
+        "memory": by_model["GTS"].memory / by_model["SAGDFN"].memory,
+    }
+    return {
+        "profiles": profiles,
+        "example_memory": example_memory_comparison(
+            num_nodes=num_nodes,
+            embedding_dim=embedding_dim,
+            hidden_dim=hidden_dim,
+            num_significant=num_significant,
+        ),
+        "reduction_vs_gts": reduction_vs_gts,
+    }

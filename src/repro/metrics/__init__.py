@@ -1,0 +1,12 @@
+"""Forecasting metrics used throughout the evaluation (masked MAE / RMSE / MAPE)."""
+
+from repro.metrics.forecasting import (
+    HorizonMetrics,
+    horizon_metrics,
+    mae,
+    mape,
+    metrics_dict,
+    rmse,
+)
+
+__all__ = ["mae", "rmse", "mape", "metrics_dict", "horizon_metrics", "HorizonMetrics"]

@@ -1,0 +1,106 @@
+"""Masked forecasting metrics on plain NumPy arrays.
+
+The paper reports MAE, RMSE and MAPE at horizons 3, 6 and 12, excluding
+missing readings (encoded as zeros) from every metric — the convention
+introduced by DCRNN for METR-LA and kept by all follow-up work.  These
+functions mirror :mod:`repro.nn.loss` but operate on arrays (no autodiff) so
+the evaluation harness stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _mask(target: np.ndarray, null_value: float | None) -> np.ndarray:
+    if null_value is None:
+        return np.ones_like(target, dtype=bool)
+    if np.isnan(null_value):
+        return ~np.isnan(target)
+    return ~np.isclose(target, null_value)
+
+
+def mae(prediction: np.ndarray, target: np.ndarray, null_value: float | None = 0.0) -> float:
+    """Masked mean absolute error."""
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    mask = _mask(target, null_value)
+    if not mask.any():
+        return float("nan")
+    return float(np.abs(prediction[mask] - target[mask]).mean())
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray, null_value: float | None = 0.0) -> float:
+    """Masked root mean squared error."""
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    mask = _mask(target, null_value)
+    if not mask.any():
+        return float("nan")
+    return float(np.sqrt(np.square(prediction[mask] - target[mask]).mean()))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, null_value: float | None = 0.0,
+         epsilon: float = 1e-5) -> float:
+    """Masked mean absolute percentage error (returned as a fraction, not %)."""
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    mask = _mask(target, null_value)
+    if not mask.any():
+        return float("nan")
+    denominator = np.maximum(np.abs(target[mask]), epsilon)
+    return float((np.abs(prediction[mask] - target[mask]) / denominator).mean())
+
+
+def metrics_dict(prediction: np.ndarray, target: np.ndarray,
+                 null_value: float | None = 0.0) -> dict[str, float]:
+    """All three metrics in one dictionary."""
+    return {
+        "mae": mae(prediction, target, null_value),
+        "rmse": rmse(prediction, target, null_value),
+        "mape": mape(prediction, target, null_value),
+    }
+
+
+@dataclass(frozen=True)
+class HorizonMetrics:
+    """Metrics of one model at one forecasting horizon."""
+
+    horizon: int
+    mae: float
+    rmse: float
+    mape: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"mae": self.mae, "rmse": self.rmse, "mape": self.mape}
+
+
+def horizon_metrics(
+    prediction: np.ndarray,
+    target: np.ndarray,
+    horizons: tuple[int, ...] = (3, 6, 12),
+    null_value: float | None = 0.0,
+) -> list[HorizonMetrics]:
+    """Per-horizon metrics for stacked forecasts.
+
+    ``prediction`` and ``target`` have shape ``(samples, f, N, …)``; horizon
+    ``k`` refers to the k-th forecast step (1-based), matching the
+    "Horizon 3 / 6 / 12" columns of the paper's tables.
+    """
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    results = []
+    max_horizon = prediction.shape[1]
+    for horizon in horizons:
+        if horizon < 1 or horizon > max_horizon:
+            raise ValueError(f"horizon {horizon} outside the forecast range 1..{max_horizon}")
+        step = horizon - 1
+        results.append(
+            HorizonMetrics(
+                horizon=horizon,
+                mae=mae(prediction[:, step], target[:, step], null_value),
+                rmse=rmse(prediction[:, step], target[:, step], null_value),
+                mape=mape(prediction[:, step], target[:, step], null_value),
+            )
+        )
+    return results

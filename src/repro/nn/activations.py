@@ -1,0 +1,38 @@
+"""Activation functions as stateless :class:`~repro.nn.module.Module` wrappers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class ReLU(Module):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class LeakyReLU(Module):
+    """Leaky rectified linear unit with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)

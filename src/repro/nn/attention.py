@@ -1,0 +1,68 @@
+"""Scaled dot-product and multi-head attention.
+
+Used by the GMAN-style and Transformer-style baselines (Table III and IX);
+the paper's own Sparse Spatial Multi-Head Attention lives in
+``repro.core.attention`` because it scores *node pairs* with feed-forward
+networks instead of dot products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.sparse import alpha_entmax
+from repro.tensor import Tensor
+
+
+def scaled_dot_product_attention(
+    query: Tensor, key: Tensor, value: Tensor, mask: np.ndarray | None = None, alpha: float = 1.0
+) -> Tensor:
+    """Attention ``normalise(Q Kᵀ / √d) V`` with optional additive mask.
+
+    ``alpha`` selects the normaliser: 1.0 is softmax, larger values use the
+    sparse α-entmax family.
+    """
+    d_k = query.shape[-1]
+    scores = query.matmul(key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d_k))
+    if mask is not None:
+        scores = scores + Tensor(np.where(mask, 0.0, -1e9))
+    weights = alpha_entmax(scores, alpha=alpha, axis=-1)
+    return weights.matmul(value)
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention over the last two axes of ``(B, T, D)``."""
+
+    def __init__(self, model_dim: int, num_heads: int, alpha: float = 1.0, seed: int | None = None):
+        super().__init__()
+        if model_dim % num_heads != 0:
+            raise ValueError("model_dim must be divisible by num_heads")
+        base = 0 if seed is None else seed
+        self.model_dim = model_dim
+        self.num_heads = num_heads
+        self.head_dim = model_dim // num_heads
+        self.alpha = alpha
+        self.query_proj = Linear(model_dim, model_dim, seed=base)
+        self.key_proj = Linear(model_dim, model_dim, seed=base + 1)
+        self.value_proj = Linear(model_dim, model_dim, seed=base + 2)
+        self.output_proj = Linear(model_dim, model_dim, seed=base + 3)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, steps, _ = x.shape
+        return x.reshape(batch, steps, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, steps, dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, steps, heads * dim)
+
+    def forward(self, query: Tensor, key: Tensor | None = None, value: Tensor | None = None,
+                mask: np.ndarray | None = None) -> Tensor:
+        key = query if key is None else key
+        value = key if value is None else value
+        q = self._split_heads(self.query_proj(query))
+        k = self._split_heads(self.key_proj(key))
+        v = self._split_heads(self.value_proj(value))
+        attended = scaled_dot_product_attention(q, k, v, mask=mask, alpha=self.alpha)
+        return self.output_proj(self._merge_heads(attended))

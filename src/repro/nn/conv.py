@@ -1,0 +1,115 @@
+"""Temporal (1-D) convolutions, including dilated/causal and gated variants.
+
+These are the building blocks of the Graph WaveNet / MTGNN baselines, whose
+temporal modules are stacks of dilated causal convolutions with gated
+activations (tanh ⊙ sigmoid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.utils.seed import spawn_rng
+
+
+class Conv1d(Module):
+    """1-D convolution over the last axis of a ``(B, C_in, T)`` input.
+
+    Implemented as a sum of shifted matrix multiplications, which keeps the
+    backward pass entirely inside the autodiff engine.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        bias: bool = True,
+        seed: int | None = None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or dilation < 1:
+            raise ValueError("kernel_size and dilation must be >= 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        rng = spawn_rng(seed)
+        self.weight = Parameter(
+            init.xavier_uniform((kernel_size, in_channels, out_channels), rng), name="weight"
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
+
+    @property
+    def receptive_field(self) -> int:
+        return (self.kernel_size - 1) * self.dilation + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv1d expects (batch, {self.in_channels}, time) input, got {x.shape}"
+            )
+        batch, _, steps = x.shape
+        out_steps = steps - self.receptive_field + 1
+        if out_steps <= 0:
+            raise ValueError(
+                f"input of length {steps} is shorter than the receptive field "
+                f"{self.receptive_field}"
+            )
+        # (B, C_in, T) -> (B, T, C_in) so each tap is a matmul on the last axis.
+        x_t = x.transpose(0, 2, 1)
+        terms = []
+        for k in range(self.kernel_size):
+            start = k * self.dilation
+            window = x_t[:, start : start + out_steps, :]
+            terms.append(window.matmul(self.weight[k]))
+        out = terms[0]
+        for term in terms[1:]:
+            out = out + term
+        if self.bias is not None:
+            out = out + self.bias
+        return out.transpose(0, 2, 1)
+
+
+class CausalConv1d(Module):
+    """Dilated convolution with left zero-padding so output length equals input length."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        seed: int | None = None,
+    ):
+        super().__init__()
+        self.conv = Conv1d(in_channels, out_channels, kernel_size, dilation=dilation, seed=seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        pad = self.conv.receptive_field - 1
+        padded = x.pad(((0, 0), (0, 0), (pad, 0)))
+        return self.conv(padded)
+
+
+class GatedTemporalConv(Module):
+    """Gated dilated convolution ``tanh(conv_f(x)) ⊙ sigmoid(conv_g(x))``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        seed: int | None = None,
+    ):
+        super().__init__()
+        base = 0 if seed is None else seed
+        self.filter_conv = CausalConv1d(in_channels, out_channels, kernel_size, dilation, seed=base)
+        self.gate_conv = CausalConv1d(in_channels, out_channels, kernel_size, dilation, seed=base + 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.filter_conv(x).tanh() * self.gate_conv(x).sigmoid()

@@ -1,0 +1,31 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+from repro.utils.seed import spawn_rng
+
+
+class Dropout(Module):
+    """Randomly zero elements with probability ``p`` during training.
+
+    Uses the "inverted" formulation (activations are scaled by ``1/(1-p)`` at
+    training time) so evaluation is the identity.
+    """
+
+    def __init__(self, p: float = 0.1, seed: int | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = spawn_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+        return x * Tensor(mask)

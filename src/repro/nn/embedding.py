@@ -1,0 +1,37 @@
+"""Embedding lookup table."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.utils.seed import spawn_rng
+
+
+class Embedding(Module):
+    """Lookup table mapping integer indices to dense vectors.
+
+    This is how SAGDFN, AGCRN, MTGNN, and Graph WaveNet represent node
+    (sensor) identities; the rows are learned end-to-end.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, seed: int | None = None):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding sizes must be positive")
+        rng = spawn_rng(seed)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(rng.normal(0.0, 1.0 / np.sqrt(embedding_dim),
+                                           size=(num_embeddings, embedding_dim)), name="weight")
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return self.weight[indices]
+
+    def all(self) -> Tensor:
+        """Return the whole table as a differentiable ``(num_embeddings, dim)`` tensor."""
+        return self.weight

@@ -1,0 +1,78 @@
+"""Affine layers: :class:`Linear` and the two-layer :class:`FeedForward`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.utils.seed import spawn_rng
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b`` applied to the last axis.
+
+    Parameters
+    ----------
+    in_features / out_features:
+        Input and output widths of the last axis.
+    bias:
+        Whether to learn an additive bias.
+    seed:
+        Seed of the Xavier-uniform initialiser (deterministic by default).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: int | None = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear feature sizes must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = spawn_rng(seed)
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dimension {self.in_features}, got shape {x.shape}"
+            )
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class FeedForward(Module):
+    """Two-layer perceptron ``Linear → activation → Linear``.
+
+    This is the ``FFN_p`` used by the Sparse Spatial Multi-Head Attention
+    module (Eq. 2 of the paper) to score node/neighbour pairs.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        activation: str = "relu",
+        seed: int | None = None,
+    ):
+        super().__init__()
+        base = 0 if seed is None else seed
+        self.input_layer = Linear(in_features, hidden_features, seed=base)
+        self.output_layer = Linear(hidden_features, out_features, seed=base + 1)
+        if activation not in {"relu", "tanh", "sigmoid"}:
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.input_layer(x)
+        if self.activation == "relu":
+            hidden = hidden.relu()
+        elif self.activation == "tanh":
+            hidden = hidden.tanh()
+        else:
+            hidden = hidden.sigmoid()
+        return self.output_layer(hidden)

@@ -1,0 +1,122 @@
+"""Forecasting losses: MAE, MSE, Huber, MAPE, and masked variants.
+
+The traffic-forecasting literature (DCRNN, Graph WaveNet, SAGDFN) treats
+zero readings as missing values and excludes them from both the training
+loss and evaluation metrics; the ``masked_*`` functions implement that
+convention and are used by the trainer and the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error — the training loss of Eq. 11."""
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear for residuals larger than ``delta``."""
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    diff = (prediction - target).abs()
+    quadratic = 0.5 * diff * diff
+    linear = delta * diff - 0.5 * delta * delta
+    mask = diff.data <= delta
+    from repro.tensor import where
+
+    return where(mask, quadratic, linear).mean()
+
+
+def mape_loss(prediction: Tensor, target: Tensor, epsilon: float = 1e-5) -> Tensor:
+    """Mean absolute percentage error (targets close to zero are floored)."""
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    denominator = Tensor(np.maximum(np.abs(target.data), epsilon))
+    return ((prediction - target).abs() / denominator).mean()
+
+
+def _masked_target(target: Tensor, null_value: float | None) -> tuple[Tensor, np.ndarray]:
+    """Return the target with NaNs removed and the normalised inclusion mask.
+
+    The mask is scaled so that multiplying element-wise and taking ``mean()``
+    averages only over the observed entries (the DCRNN convention).
+    """
+    if null_value is None:
+        mask = np.ones_like(target.data)
+    elif np.isnan(null_value):
+        mask = (~np.isnan(target.data)).astype(float)
+    else:
+        mask = (~np.isclose(target.data, null_value)).astype(float)
+    total = mask.mean()
+    mask = np.zeros_like(mask) if total <= 0 else mask / total
+    cleaned = Tensor(np.nan_to_num(target.data, nan=0.0))
+    return cleaned, mask
+
+
+def masked_mae(prediction: Tensor, target: Tensor, null_value: float | None = 0.0) -> Tensor:
+    """MAE over entries whose target differs from ``null_value``."""
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    cleaned, mask = _masked_target(target, null_value)
+    return ((prediction - cleaned).abs() * Tensor(mask)).mean()
+
+
+def masked_mse(prediction: Tensor, target: Tensor, null_value: float | None = 0.0) -> Tensor:
+    """MSE over entries whose target differs from ``null_value``."""
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    cleaned, mask = _masked_target(target, null_value)
+    diff = prediction - cleaned
+    return (diff * diff * Tensor(mask)).mean()
+
+
+def masked_rmse(prediction: Tensor, target: Tensor, null_value: float | None = 0.0) -> Tensor:
+    """RMSE over entries whose target differs from ``null_value``."""
+    return masked_mse(prediction, target, null_value=null_value).sqrt()
+
+
+def masked_mape(prediction: Tensor, target: Tensor, null_value: float | None = 0.0,
+                epsilon: float = 1e-5) -> Tensor:
+    """MAPE over entries whose target differs from ``null_value``."""
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    cleaned, mask = _masked_target(target, null_value)
+    denominator = Tensor(np.maximum(np.abs(cleaned.data), epsilon))
+    return ((prediction - cleaned).abs() / denominator * Tensor(mask)).mean()
+
+
+class L1Loss(Module):
+    """Module wrapper around :func:`l1_loss`."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return l1_loss(prediction, target)
+
+
+class MSELoss(Module):
+    """Module wrapper around :func:`mse_loss`."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return mse_loss(prediction, target)
+
+
+class HuberLoss(Module):
+    """Module wrapper around :func:`huber_loss`."""
+
+    def __init__(self, delta: float = 1.0):
+        super().__init__()
+        self.delta = delta
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return huber_loss(prediction, target, delta=self.delta)

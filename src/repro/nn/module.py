@@ -1,0 +1,185 @@
+"""Parameter registration and the :class:`Module` base class."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`~repro.tensor.Tensor` flagged as a learnable parameter.
+
+    Any :class:`Parameter` assigned as an attribute of a :class:`Module` is
+    automatically registered and returned by :meth:`Module.parameters`.
+    """
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, name={self.name!r})"
+
+
+class Module:
+    """Base class for all neural-network layers and models.
+
+    Subclasses define parameters and sub-modules as attributes in
+    ``__init__`` and implement :meth:`forward`.  The base class provides
+    parameter traversal, gradient zeroing, ``state_dict`` serialisation and
+    train/eval mode propagation (used by :class:`~repro.nn.dropout.Dropout`
+    and :class:`~repro.nn.normalization.BatchNorm1d`).
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Forward dispatch
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs for this module and its children."""
+        seen: set[int] = set()
+        for name, value in vars(self).items():
+            full_name = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full_name}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{i}.")
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Parameter):
+                        yield f"{full_name}.{key}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{key}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all unique parameters of this module (deduplicated by identity)."""
+        result: list[Parameter] = []
+        seen: set[int] = set()
+        for _, parameter in self.named_parameters():
+            if id(parameter) not in seen:
+                seen.add(id(parameter))
+                result.append(parameter)
+        return result
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all of its descendants."""
+        yield self
+        for value in vars(self).items():
+            pass
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+            elif isinstance(value, dict):
+                for item in value.values():
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters, used for the Table X comparison."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # Training state
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a copy of every parameter keyed by its dotted name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters previously captured by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=parameter.data.dtype)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+
+
+class ModuleList(Module):
+    """A list of sub-modules whose parameters are registered with the parent."""
+
+    def __init__(self, modules: list[Module] | None = None) -> None:
+        super().__init__()
+        self.items: list[Module] = list(modules) if modules else []
+
+    def append(self, module: Module) -> None:
+        self.items.append(module)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.items[index]
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called directly")
+
+
+class Sequential(Module):
+    """Feed the input through each sub-module in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.items = ModuleList(list(modules))
+
+    def forward(self, x):
+        for module in self.items:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.items[index]

@@ -1,0 +1,64 @@
+"""Normalisation layers: LayerNorm and BatchNorm1d."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis with learnable affine parameters."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape), name="weight")
+        self.bias = Parameter(np.zeros(normalized_shape), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.eps).sqrt()
+        return normalised * self.weight + self.bias
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the first axis for ``(batch, features)`` inputs.
+
+    Keeps running statistics used at evaluation time, matching the standard
+    exponential-moving-average formulation.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features), name="weight")
+        self.bias = Parameter(np.zeros(num_features), name="bias")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expects (batch, {self.num_features}) input, got {x.shape}"
+            )
+        if self.training:
+            batch_mean = x.data.mean(axis=0)
+            batch_var = x.data.var(axis=0)
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            variance = (centered * centered).mean(axis=0, keepdims=True)
+            normalised = centered / (variance + self.eps).sqrt()
+        else:
+            normalised = (x - Tensor(self.running_mean)) / Tensor(
+                np.sqrt(self.running_var + self.eps)
+            )
+        return normalised * self.weight + self.bias

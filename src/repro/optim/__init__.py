@@ -1,0 +1,19 @@
+"""Optimisers, learning-rate schedulers and gradient clipping."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.clip import clip_grad_norm, clip_grad_value
+from repro.optim.lr_scheduler import CosineAnnealingLR, MultiStepLR, ReduceLROnPlateau, StepLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "clip_grad_value",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "ReduceLROnPlateau",
+]

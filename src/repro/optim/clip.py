@@ -1,0 +1,32 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale all gradients so that their global L2 norm is at most ``max_norm``.
+
+    Returns the norm *before* clipping, which trainers typically log.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    if not parameters:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    if total > max_norm and total > 0:
+        scale = max_norm / (total + 1e-12)
+        for parameter in parameters:
+            parameter.grad = parameter.grad * scale
+    return total
+
+
+def clip_grad_value(parameters: Iterable[Parameter], clip_value: float) -> None:
+    """Clamp every gradient element into ``[-clip_value, clip_value]``."""
+    for parameter in parameters:
+        if parameter.grad is not None:
+            np.clip(parameter.grad, -clip_value, clip_value, out=parameter.grad)

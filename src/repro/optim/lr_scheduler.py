@@ -1,0 +1,89 @@
+"""Learning-rate schedulers operating on an :class:`~repro.optim.Optimizer`."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self, *args) -> None:
+        raise NotImplementedError
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+
+class StepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def step(self) -> None:
+        self.epoch += 1
+        exponent = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma**exponent)
+
+
+class MultiStepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` at each listed milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: list[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def step(self) -> None:
+        self.epoch += 1
+        passed = sum(1 for milestone in self.milestones if self.epoch >= milestone)
+        self.optimizer.lr = self.base_lr * (self.gamma**passed)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base learning rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def step(self) -> None:
+        self.epoch += 1
+        progress = min(self.epoch, self.t_max) / self.t_max
+        self.optimizer.lr = self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class ReduceLROnPlateau(_Scheduler):
+    """Halve the learning rate when the monitored metric stops improving."""
+
+    def __init__(self, optimizer: Optimizer, factor: float = 0.5, patience: int = 3,
+                 min_lr: float = 1e-6):
+        super().__init__(optimizer)
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.best = float("inf")
+        self.bad_epochs = 0
+
+    def step(self, metric: float) -> None:
+        self.epoch += 1
+        if metric < self.best - 1e-12:
+            self.best = metric
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+            if self.bad_epochs > self.patience:
+                self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+                self.bad_epochs = 0

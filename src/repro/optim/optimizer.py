@@ -1,0 +1,28 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Common interface: holds the parameter list and the learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every managed parameter."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored on the parameters."""
+        raise NotImplementedError

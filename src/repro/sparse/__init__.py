@@ -1,0 +1,31 @@
+"""Sparse probability normalisers: softmax, sparsemax and the α-entmax family.
+
+The paper's Sparse Spatial Multi-Head Attention module replaces the usual
+Softmax with α-entmax (Eq. 7–8) to *zero out* the attention weights of
+uncorrelated neighbours.  This subpackage implements the whole family with
+exact forward solutions (sort-based for sparsemax/entmax-1.5, bisection for
+general α) and the analytic backward pass, both as plain-NumPy functions and
+as autodiff-aware operations on :class:`repro.tensor.Tensor`.
+"""
+
+from repro.sparse.entmax import (
+    alpha_entmax,
+    alpha_entmax_np,
+    entmax15_np,
+    softmax,
+    softmax_np,
+    sparsemax,
+    sparsemax_np,
+    entmax_support_size,
+)
+
+__all__ = [
+    "softmax",
+    "softmax_np",
+    "sparsemax",
+    "sparsemax_np",
+    "entmax15_np",
+    "alpha_entmax",
+    "alpha_entmax_np",
+    "entmax_support_size",
+]

@@ -1,0 +1,44 @@
+"""Reverse-mode automatic differentiation engine over NumPy arrays.
+
+This subpackage is the deep-learning substrate of the SAGDFN reproduction.
+The published system is built on PyTorch; since no deep-learning framework is
+available in this environment, ``repro.tensor`` provides the minimal-but-
+complete tensor abstraction the paper's model and all baselines require:
+
+* :class:`~repro.tensor.tensor.Tensor` — an n-dimensional array wrapper that
+  records the operations applied to it and can back-propagate gradients with
+  :meth:`~repro.tensor.tensor.Tensor.backward`.
+* A library of differentiable operations (arithmetic, matrix multiplication,
+  reductions, reshaping, indexing, concatenation, common activations).
+* :func:`~repro.tensor.grad_check.numerical_gradient` /
+  :func:`~repro.tensor.grad_check.check_gradients` — finite-difference
+  verification utilities used heavily in the test-suite.
+* :class:`~repro.tensor.context.no_grad` — context manager disabling graph
+  recording during evaluation.
+
+Example
+-------
+>>> from repro.tensor import Tensor
+>>> x = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad.tolist()
+[[2.0, 4.0], [6.0, 8.0]]
+"""
+
+from repro.tensor.context import is_grad_enabled, no_grad
+from repro.tensor.grad_check import check_gradients, numerical_gradient
+from repro.tensor.tensor import Tensor, concat, maximum, minimum, stack, where
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "no_grad",
+    "is_grad_enabled",
+    "numerical_gradient",
+    "check_gradients",
+]

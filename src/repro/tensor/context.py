@@ -1,0 +1,54 @@
+"""Global autograd state: enabling/disabling gradient recording."""
+
+from __future__ import annotations
+
+import threading
+
+
+class _GradState(threading.local):
+    """Thread-local flag controlling whether operations build the graph."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = True
+
+
+_STATE = _GradState()
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations record the computation graph."""
+    return _STATE.enabled
+
+
+class no_grad:
+    """Context manager (and decorator) that disables gradient recording.
+
+    Mirrors ``torch.no_grad``: inside the block, tensors produced by
+    operations have ``requires_grad=False`` and carry no backward closure,
+    which keeps memory flat during evaluation loops.
+
+    >>> from repro.tensor import Tensor, no_grad
+    >>> x = Tensor([1.0], requires_grad=True)
+    >>> with no_grad():
+    ...     y = x * 3.0
+    >>> y.requires_grad
+    False
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = _STATE.enabled
+        _STATE.enabled = False
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        _STATE.enabled = self._previous
+
+    def __call__(self, func):
+        def wrapper(*args, **kwargs):
+            with no_grad():
+                return func(*args, **kwargs)
+
+        wrapper.__name__ = getattr(func, "__name__", "wrapped")
+        wrapper.__doc__ = func.__doc__
+        return wrapper

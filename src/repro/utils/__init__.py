@@ -1,0 +1,15 @@
+"""Small shared helpers: seeding, timing, logging, checkpointing."""
+
+from repro.utils.seed import seed_everything, spawn_rng
+from repro.utils.timer import Timer
+from repro.utils.logging import get_logger
+from repro.utils.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "seed_everything",
+    "spawn_rng",
+    "Timer",
+    "get_logger",
+    "save_checkpoint",
+    "load_checkpoint",
+]

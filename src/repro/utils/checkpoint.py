@@ -1,0 +1,41 @@
+"""Model checkpointing: save/load a Module's parameters as a ``.npz`` archive."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Write all parameters of ``model`` (plus optional JSON metadata) to ``path``.
+
+    The file is a standard ``.npz`` archive whose keys are the dotted
+    parameter names from :meth:`Module.named_parameters`, with the metadata
+    stored under the reserved ``__metadata__`` key.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    payload = {name: parameter.data for name, parameter in model.named_parameters()}
+    payload["__metadata__"] = np.array(json.dumps(metadata or {}))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(model: Module, path: str | Path) -> dict:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Returns the metadata dictionary stored alongside the parameters.  Raises
+    ``KeyError`` / ``ValueError`` when the archive does not match the model.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["__metadata__"]))
+        state = {name: archive[name] for name in archive.files if name != "__metadata__"}
+    model.load_state_dict(state)
+    return metadata

@@ -1,0 +1,28 @@
+"""Deterministic seeding helpers used across the library and the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def seed_everything(seed: int = 0) -> np.random.Generator:
+    """Seed Python's and NumPy's global RNGs and return a fresh Generator.
+
+    The returned :class:`numpy.random.Generator` should be preferred for any
+    new code; the global seeding exists only so that legacy ``np.random.*``
+    calls inside third-party helpers stay deterministic.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2**32))
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(seed: int | None, default: int = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the given seed.
+
+    ``None`` maps to ``default`` so that callers can simply forward an
+    optional ``seed`` argument.
+    """
+    return np.random.default_rng(default if seed is None else seed)

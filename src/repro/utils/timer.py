@@ -1,0 +1,46 @@
+"""Wall-clock timing helper used by the computation-cost experiments."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Accumulating stopwatch.
+
+    Can be used either as a context manager or via explicit
+    :meth:`start` / :meth:`stop` calls; repeated measurements accumulate in
+    :attr:`total` and :attr:`count`, giving an average via :attr:`mean`.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._started_at: float | None = None
+
+    def start(self) -> "Timer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        elapsed = time.perf_counter() - self._started_at
+        self.total += elapsed
+        self.count += 1
+        self._started_at = None
+        return elapsed
+
+    @property
+    def mean(self) -> float:
+        """Average duration of the recorded intervals (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return f"Timer(total={self.total:.4f}s, count={self.count})"

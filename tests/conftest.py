@@ -1,0 +1,43 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_road_network
+from repro.data.synthetic.carpark import CarparkConfig, generate_carpark_dataset
+from repro.data.synthetic.traffic import TrafficConfig, generate_traffic_dataset
+from repro.experiments.common import prepare_data_from_series
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_network():
+    """A 12-node road network shared across tests."""
+    return generate_road_network(12, neighbours=3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_traffic_series():
+    """A small traffic series: 12 nodes, 400 five-minute steps."""
+    config = TrafficConfig(num_nodes=12, num_steps=400, seed=7, missing_rate=0.01)
+    return generate_traffic_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_carpark_series():
+    """A small car-park series: 10 nodes, 350 five-minute steps."""
+    config = CarparkConfig(num_nodes=10, num_steps=350, seed=11)
+    return generate_carpark_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_experiment_data(tiny_traffic_series):
+    """Loaders / scaler / adjacency for the tiny traffic series (h=f=6)."""
+    return prepare_data_from_series(tiny_traffic_series, history=6, horizon=6, batch_size=8,
+                                    seed=0, name="tiny_traffic")

@@ -1,0 +1,149 @@
+"""Tests for the classical baselines: Historical Average, ARIMA, VAR, SVR."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ARIMAForecaster, HistoricalAverage, SVRForecaster, VARForecaster
+
+
+@pytest.fixture
+def seasonal_series(rng):
+    """A (T, N) series with a clear daily cycle plus noise, 5-minute steps."""
+    steps, nodes, steps_per_day = 288 * 4, 6, 288
+    time = np.arange(steps)
+    daily = 10.0 * np.sin(2 * np.pi * time / steps_per_day)
+    base = 50.0 + rng.normal(scale=1.0, size=(steps, nodes))
+    return base + daily[:, None]
+
+
+class TestHistoricalAverage:
+    def test_predict_shape(self, seasonal_series):
+        model = HistoricalAverage(history=12, horizon=6, steps_per_day=288)
+        model.fit(seasonal_series[:800])
+        prediction = model.predict(seasonal_series[800:812], start_step=812)
+        assert prediction.shape == (6, 6)
+
+    def test_slot_means_capture_daily_cycle(self, seasonal_series):
+        model = HistoricalAverage(history=12, horizon=12, steps_per_day=288)
+        model.fit(seasonal_series)
+        # prediction at the daily peak differs from prediction at the trough
+        peak = model.predict(seasonal_series[:12], start_step=72)
+        trough = model.predict(seasonal_series[:12], start_step=216)
+        assert peak.mean() > trough.mean()
+
+    def test_fallback_without_daily_period(self, seasonal_series):
+        model = HistoricalAverage(history=12, horizon=4)
+        model.fit(seasonal_series[:100])
+        prediction = model.predict(seasonal_series[100:112])
+        assert np.allclose(prediction, seasonal_series[100:112].mean(axis=0), atol=1e-9)
+
+    def test_predict_before_fit_raises(self, seasonal_series):
+        with pytest.raises(RuntimeError):
+            HistoricalAverage(12, 6).predict(seasonal_series[:12])
+
+
+class TestARIMA:
+    def test_fit_predict_shapes(self, seasonal_series):
+        model = ARIMAForecaster(history=24, horizon=6, order=(3, 1))
+        model.fit(seasonal_series[:800])
+        prediction = model.predict(seasonal_series[776:800])
+        assert prediction.shape == (6, 6)
+
+    def test_tracks_linear_trend(self):
+        """An ARIMA(1,1) on a noiseless linear trend must extrapolate the trend."""
+        steps = np.arange(200, dtype=float)
+        series = np.stack([2.0 * steps, -1.0 * steps + 50], axis=1)
+        model = ARIMAForecaster(history=20, horizon=5, order=(2, 1))
+        model.fit(series[:150])
+        prediction = model.predict(series[130:150])
+        expected_first = np.array([2.0 * 150, -1.0 * 150 + 50])
+        assert np.allclose(prediction[0], expected_first, atol=2.0)
+        assert prediction[4, 0] > prediction[0, 0]  # increasing series keeps increasing
+
+    def test_better_than_naive_on_autocorrelated_data(self, rng):
+        """On an AR(1) process the fitted model beats the last-value predictor."""
+        steps, nodes = 600, 4
+        series = np.zeros((steps, nodes))
+        noise = rng.normal(scale=1.0, size=(steps, nodes))
+        for t in range(1, steps):
+            series[t] = 0.9 * series[t - 1] + noise[t]
+        series += 100.0
+        model = ARIMAForecaster(history=24, horizon=3, order=(3, 0))
+        model.fit(series[:500])
+        errors_model, errors_naive = [], []
+        for start in range(500, 580):
+            window = series[start - 24 : start]
+            target = series[start : start + 3]
+            errors_model.append(np.abs(model.predict(window) - target).mean())
+            errors_naive.append(np.abs(window[-1][None, :] - target).mean())
+        assert np.mean(errors_model) <= np.mean(errors_naive) * 1.05
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            ARIMAForecaster(12, 6, order=(0, 1))
+        with pytest.raises(ValueError):
+            ARIMAForecaster(12, 6, order=(2, 3))
+
+    def test_too_short_training_series(self, rng):
+        model = ARIMAForecaster(12, 6, order=(5, 1))
+        with pytest.raises(ValueError):
+            model.fit(rng.normal(size=(5, 3)))
+
+
+class TestVAR:
+    def test_fit_predict_shapes(self, seasonal_series):
+        model = VARForecaster(history=12, horizon=4, order=2)
+        model.fit(seasonal_series[:600])
+        assert model.predict(seasonal_series[588:600]).shape == (4, 6)
+
+    def test_uses_cross_series_information(self, rng):
+        """Node 1 is a lagged copy of node 0: VAR should predict it almost perfectly."""
+        steps = 500
+        driver = np.cumsum(rng.normal(size=steps))
+        follower = np.roll(driver, 1)
+        series = np.stack([driver, follower], axis=1)
+        model = VARForecaster(history=10, horizon=1, order=2, ridge=1e-4)
+        model.fit(series[:400])
+        errors = []
+        for start in range(400, 480):
+            prediction = model.predict(series[start - 10 : start])
+            errors.append(abs(prediction[0, 1] - series[start, 1]))
+        assert np.mean(errors) < 0.2
+
+    def test_node_count_mismatch_raises(self, seasonal_series, rng):
+        model = VARForecaster(history=12, horizon=4, order=2)
+        model.fit(seasonal_series[:300])
+        with pytest.raises(ValueError):
+            model.predict(rng.normal(size=(12, 3)))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            VARForecaster(12, 4, order=0)
+
+
+class TestSVR:
+    def test_fit_predict_shapes(self, seasonal_series):
+        model = SVRForecaster(history=12, horizon=6, iterations=50)
+        model.fit(seasonal_series[:600])
+        assert model.predict(seasonal_series[588:600]).shape == (6, 6)
+
+    def test_learns_persistence_on_smooth_series(self, rng):
+        """On a slowly varying series the SVR forecast should stay near the last value."""
+        steps = 400
+        smooth = np.cumsum(rng.normal(scale=0.05, size=(steps, 3)), axis=0) + 20.0
+        model = SVRForecaster(history=12, horizon=3, iterations=300, learning_rate=0.05)
+        model.fit(smooth[:350])
+        window = smooth[338:350]
+        prediction = model.predict(window)
+        assert np.abs(prediction - window[-1]).mean() < 2.0
+
+    def test_short_history_is_padded(self, seasonal_series):
+        model = SVRForecaster(history=12, horizon=2, iterations=20)
+        model.fit(seasonal_series[:400])
+        prediction = model.predict(seasonal_series[:5])  # shorter than history
+        assert prediction.shape == (2, 6)
+
+    def test_sample_cap_respected(self, seasonal_series):
+        model = SVRForecaster(history=12, horizon=2, iterations=10, max_samples=100)
+        model.fit(seasonal_series[:400])
+        assert model.weights_.shape == (2, 12)

@@ -1,0 +1,154 @@
+"""Tests for the neural baselines: shapes, gradients, graph usage and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AGCRNForecaster,
+    BASELINE_REGISTRY,
+    DCRNNForecaster,
+    GTSForecaster,
+    GraphWaveNetForecaster,
+    LSTMForecaster,
+    MTGNNForecaster,
+    STEPForecaster,
+    build_baseline,
+    classical_baseline_names,
+    neural_baseline_names,
+)
+from repro.tensor import Tensor
+
+NUM_NODES, INPUT_DIM, HISTORY, HORIZON = 10, 2, 6, 6
+
+
+@pytest.fixture
+def adjacency(rng):
+    matrix = rng.random((NUM_NODES, NUM_NODES))
+    matrix = (matrix + matrix.T) / 2
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+@pytest.fixture
+def series_values(rng):
+    return rng.normal(loc=40.0, scale=8.0, size=(200, NUM_NODES))
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.normal(size=(3, HISTORY, NUM_NODES, INPUT_DIM))
+
+
+class TestRegistry:
+    def test_all_paper_baselines_registered(self):
+        expected = {"ARIMA", "VAR", "SVR", "LSTM", "DCRNN", "STGCN", "STSGCN", "GraphWaveNet",
+                    "AGCRN", "MTGNN", "GMAN", "ASTGCN", "GTS", "STEP", "D2STGNN",
+                    "TimesNet", "FEDformer", "ETSformer"}
+        assert expected.issubset(set(BASELINE_REGISTRY))
+
+    def test_classical_and_neural_split(self):
+        classical = set(classical_baseline_names())
+        neural = set(neural_baseline_names())
+        assert classical & neural == set()
+        assert classical | neural == set(BASELINE_REGISTRY)
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(KeyError):
+            build_baseline("NotAModel", NUM_NODES, INPUT_DIM, HISTORY, HORIZON)
+
+    def test_missing_adjacency_raises(self):
+        with pytest.raises(ValueError):
+            build_baseline("DCRNN", NUM_NODES, INPUT_DIM, HISTORY, HORIZON)
+
+    def test_missing_series_features_raises(self):
+        with pytest.raises(ValueError):
+            build_baseline("GTS", NUM_NODES, INPUT_DIM, HISTORY, HORIZON)
+
+    @pytest.mark.parametrize("name", sorted(set(neural_baseline_names())))
+    def test_every_neural_baseline_forward_backward(self, name, adjacency, series_values, batch):
+        model = build_baseline(name, NUM_NODES, INPUT_DIM, HISTORY, HORIZON,
+                               adjacency=adjacency, series_values=series_values, hidden_size=12)
+        output = model(Tensor(batch))
+        assert output.shape == (3, HORIZON, NUM_NODES, 1)
+        output.abs().mean().backward()
+        assert any(p.grad is not None and not np.allclose(p.grad, 0.0) for p in model.parameters())
+
+
+class TestUnivariateBaselines:
+    def test_lstm_is_node_independent(self, rng):
+        """Changing one node's history must not change another node's forecast."""
+        model = LSTMForecaster(NUM_NODES, INPUT_DIM, HISTORY, HORIZON, hidden_size=8, seed=0)
+        base = rng.normal(size=(1, HISTORY, NUM_NODES, INPUT_DIM))
+        perturbed = base.copy()
+        perturbed[0, :, 0, :] += 5.0
+        difference = np.abs(model(Tensor(perturbed)).data - model(Tensor(base)).data)
+        assert difference[0, :, 0].sum() > 0
+        assert np.allclose(difference[0, :, 1:], 0.0)
+
+
+class TestGraphBaselines:
+    def test_dcrnn_uses_the_graph(self, adjacency, rng):
+        """With a connected adjacency, perturbing one node affects its neighbours."""
+        model = DCRNNForecaster(NUM_NODES, INPUT_DIM, HISTORY, HORIZON, adjacency,
+                                hidden_size=8, seed=0)
+        base = rng.normal(size=(1, HISTORY, NUM_NODES, INPUT_DIM))
+        perturbed = base.copy()
+        perturbed[0, :, 0, :] += 5.0
+        difference = np.abs(model(Tensor(perturbed)).data - model(Tensor(base)).data)
+        assert difference[0, :, 1:].sum() > 0
+
+    def test_dcrnn_rejects_wrong_adjacency_shape(self, rng):
+        with pytest.raises(ValueError):
+            DCRNNForecaster(NUM_NODES, INPUT_DIM, HISTORY, HORIZON, np.ones((3, 3)))
+
+    def test_agcrn_adjacency_is_row_stochastic(self):
+        model = AGCRNForecaster(NUM_NODES, INPUT_DIM, HISTORY, HORIZON, seed=0)
+        adjacency = model.adaptive_adjacency().data
+        assert adjacency.shape == (NUM_NODES, NUM_NODES)
+        assert np.allclose(adjacency.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_graph_wavenet_adjacency_learnable(self, batch):
+        model = GraphWaveNetForecaster(NUM_NODES, INPUT_DIM, HISTORY, HORIZON, seed=0)
+        model(Tensor(batch)).abs().mean().backward()
+        assert model.source_embeddings.grad is not None
+        assert model.target_embeddings.grad is not None
+
+    def test_mtgnn_adjacency_topk_sparsity(self):
+        model = MTGNNForecaster(NUM_NODES, INPUT_DIM, HISTORY, HORIZON, top_k=3, seed=0)
+        adjacency = model.learned_adjacency().data
+        assert np.all((adjacency > 0).sum(axis=1) <= 3)
+
+    def test_gts_adjacency_row_stochastic_and_dense(self, series_values):
+        features = GTSForecaster.features_from_series(series_values, num_bins=8)
+        model = GTSForecaster(NUM_NODES, INPUT_DIM, HISTORY, HORIZON, features, seed=0)
+        adjacency = model.learned_adjacency().data
+        assert adjacency.shape == (NUM_NODES, NUM_NODES)
+        assert np.allclose(adjacency.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_gts_features_from_series_shape(self, series_values):
+        features = GTSForecaster.features_from_series(series_values, num_bins=10)
+        assert features.shape == (NUM_NODES, 10)
+
+    def test_step_has_more_parameters_than_gts(self, series_values):
+        features = GTSForecaster.features_from_series(series_values)
+        gts = GTSForecaster(NUM_NODES, INPUT_DIM, HISTORY, HORIZON, features, seed=0)
+        step = STEPForecaster(NUM_NODES, INPUT_DIM, HISTORY, HORIZON, features, seed=0)
+        assert step.num_parameters() > gts.num_parameters()
+
+    def test_stsgcn_requires_three_steps(self, adjacency):
+        with pytest.raises(ValueError):
+            build_baseline("STSGCN", NUM_NODES, INPUT_DIM, history=2, horizon=2,
+                           adjacency=adjacency)
+
+
+class TestNonGNNBaselines:
+    @pytest.mark.parametrize("name", ["TimesNet", "FEDformer", "ETSformer"])
+    def test_non_gnn_models_are_node_independent(self, name, rng):
+        model = build_baseline(name, NUM_NODES, INPUT_DIM, HISTORY, HORIZON)
+        base = rng.normal(size=(1, HISTORY, NUM_NODES, INPUT_DIM))
+        perturbed = base.copy()
+        perturbed[0, :, 2, :] += 4.0
+        difference = np.abs(model(Tensor(perturbed)).data - model(Tensor(base)).data)
+        others = np.delete(np.arange(NUM_NODES), 2)
+        assert np.allclose(difference[0, :, others], 0.0)
+        assert difference[0, :, 2].sum() > 0

@@ -1,0 +1,167 @@
+"""Tests for the Sparse Spatial Multi-Head Attention and the fast graph convolution cell."""
+
+import numpy as np
+import pytest
+
+from repro.core import FastGraphConv, OneStepFastGConvCell, SparseSpatialMultiHeadAttention
+from repro.nn.module import Parameter
+from repro.tensor import Tensor, check_gradients
+
+
+@pytest.fixture
+def embeddings(rng):
+    return Parameter(rng.normal(size=(14, 6)), name="embeddings")
+
+
+@pytest.fixture
+def index_set():
+    return np.array([0, 3, 7, 11])
+
+
+class TestSparseSpatialAttention:
+    def test_output_shape(self, embeddings, index_set):
+        attention = SparseSpatialMultiHeadAttention(embedding_dim=6, num_heads=3, ffn_hidden=8)
+        slim = attention(embeddings, index_set)
+        assert slim.shape == (14, 4)
+
+    def test_gradients_flow_to_embeddings(self, embeddings, index_set):
+        attention = SparseSpatialMultiHeadAttention(embedding_dim=6, num_heads=2, ffn_hidden=8)
+        slim = attention(embeddings, index_set)
+        # A non-linear objective: the plain sum is constant by construction
+        # (each α-entmax head normalises over the neighbour axis).
+        (slim * slim).sum().backward()
+        assert embeddings.grad is not None
+        assert not np.allclose(embeddings.grad, 0.0)
+
+    def test_row_sums_constant_per_head_structure(self, embeddings, index_set):
+        """Each head's α-entmax normalises over the M neighbours, so every row sum of A_s
+        equals the same mixer-determined constant."""
+        attention = SparseSpatialMultiHeadAttention(embedding_dim=6, num_heads=2, ffn_hidden=8)
+        slim = attention(embeddings, index_set)
+        row_sums = slim.data.sum(axis=1)
+        assert np.allclose(row_sums, row_sums[0], atol=1e-8)
+
+    def test_softmax_normalizer_forces_alpha_one(self):
+        attention = SparseSpatialMultiHeadAttention(embedding_dim=4, normalizer="softmax", alpha=2.0)
+        assert attention.alpha == 1.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SparseSpatialMultiHeadAttention(embedding_dim=4, num_heads=0)
+        with pytest.raises(ValueError):
+            SparseSpatialMultiHeadAttention(embedding_dim=4, normalizer="other")
+
+    def test_inner_product_ablation_path(self, embeddings, index_set):
+        attention = SparseSpatialMultiHeadAttention(embedding_dim=6, use_pairwise_attention=False,
+                                                    alpha=1.5)
+        slim = attention(embeddings, index_set)
+        assert slim.shape == (14, 4)
+        # inner-product + entmax rows are probability vectors over the neighbours
+        assert np.allclose(slim.data.sum(axis=1), 1.0, atol=1e-6)
+        assert np.all(slim.data >= -1e-12)
+
+    def test_entmax_produces_sparser_scores_than_softmax(self, rng, index_set):
+        embeddings = Parameter(rng.normal(size=(14, 6)) * 3.0)
+        sparse_attention = SparseSpatialMultiHeadAttention(6, num_heads=1, alpha=2.0, seed=1)
+        soft_attention = SparseSpatialMultiHeadAttention(6, num_heads=1, normalizer="softmax", seed=1)
+        # compare the per-head normalised scores via the number of exact zeros
+        sparse_zeros = (sparse_attention(embeddings, index_set).data == 0.0).sum()
+        soft_zeros = (soft_attention(embeddings, index_set).data == 0.0).sum()
+        assert sparse_zeros >= soft_zeros
+
+    def test_parameter_count_independent_of_num_nodes(self):
+        small = SparseSpatialMultiHeadAttention(embedding_dim=6, num_heads=2, ffn_hidden=8)
+        # the module has no per-node parameters — scalability requirement
+        names = [name for name, _ in small.named_parameters()]
+        assert all("node" not in name for name in names)
+
+
+class TestFastGraphConv:
+    def test_slim_output_shape(self, rng, index_set):
+        conv = FastGraphConv(input_dim=5, output_dim=7, diffusion_steps=3)
+        x = Tensor(rng.normal(size=(2, 14, 5)))
+        slim = Tensor(rng.random((14, 4)))
+        assert conv(x, slim, index_set).shape == (2, 14, 7)
+
+    def test_dense_output_shape(self, rng):
+        conv = FastGraphConv(input_dim=5, output_dim=7, diffusion_steps=2)
+        x = Tensor(rng.normal(size=(2, 9, 5)))
+        dense = Tensor(rng.random((9, 9)))
+        assert conv(x, dense, index_set=None).shape == (2, 9, 7)
+
+    def test_single_step_is_plain_linear(self, rng, index_set):
+        conv = FastGraphConv(input_dim=4, output_dim=3, diffusion_steps=1, seed=0)
+        x = Tensor(rng.normal(size=(1, 14, 4)))
+        slim = Tensor(rng.random((14, 4)))
+        expected = x.data @ conv.hop_weights[0].data + conv.bias.data
+        assert np.allclose(conv(x, slim, index_set).data, expected)
+
+    def test_wrong_input_dim_raises(self, rng, index_set):
+        conv = FastGraphConv(input_dim=4, output_dim=3)
+        with pytest.raises(ValueError):
+            conv(Tensor(rng.normal(size=(1, 14, 5))), Tensor(rng.random((14, 4))), index_set)
+
+    def test_invalid_diffusion_steps(self):
+        with pytest.raises(ValueError):
+            FastGraphConv(3, 3, diffusion_steps=0)
+
+    def test_gradients_through_slim_adjacency(self, rng, index_set):
+        conv = FastGraphConv(input_dim=3, output_dim=2, diffusion_steps=2, seed=0)
+        x = Tensor(rng.normal(size=(1, 14, 3)), requires_grad=True)
+        slim = Tensor(rng.random((14, 4)), requires_grad=True)
+        assert check_gradients(lambda signal, adjacency: conv(signal, adjacency, index_set),
+                               [x, slim], atol=1e-4)
+
+    def test_information_flows_from_significant_neighbours(self, rng):
+        """Perturbing a significant neighbour's features changes other nodes' outputs."""
+        index_set = np.array([2, 5])
+        conv = FastGraphConv(input_dim=3, output_dim=3, diffusion_steps=2, seed=0)
+        slim = Tensor(np.abs(rng.random((10, 2))) + 0.5)
+        base = rng.normal(size=(1, 10, 3))
+        perturbed = base.copy()
+        perturbed[0, 2, :] += 10.0  # node 2 is a significant neighbour
+        difference = np.abs(conv(Tensor(perturbed), slim, index_set).data
+                            - conv(Tensor(base), slim, index_set).data)
+        assert difference[0, 7].sum() > 0.0  # node 7 saw the change through the graph
+
+    def test_no_information_flow_from_insignificant_nodes(self, rng):
+        """Perturbing a node outside I cannot affect other nodes (only itself)."""
+        index_set = np.array([2, 5])
+        conv = FastGraphConv(input_dim=3, output_dim=3, diffusion_steps=2, seed=0)
+        slim = Tensor(np.abs(rng.random((10, 2))) + 0.5)
+        base = rng.normal(size=(1, 10, 3))
+        perturbed = base.copy()
+        perturbed[0, 7, :] += 10.0  # node 7 is NOT significant
+        difference = np.abs(conv(Tensor(perturbed), slim, index_set).data
+                            - conv(Tensor(base), slim, index_set).data)
+        others = np.delete(np.arange(10), 7)
+        assert np.allclose(difference[0, others], 0.0)
+
+
+class TestOneStepFastGConvCell:
+    def test_shapes_and_prediction(self, rng, index_set):
+        cell = OneStepFastGConvCell(input_dim=2, hidden_dim=6, output_dim=1, diffusion_steps=2)
+        hidden = cell.initial_state(3, 14)
+        assert hidden.shape == (3, 14, 6)
+        x = Tensor(rng.normal(size=(3, 14, 2)))
+        slim = Tensor(rng.random((14, 4)))
+        new_hidden, prediction = cell(x, hidden, slim, index_set)
+        assert new_hidden.shape == (3, 14, 6)
+        assert prediction.shape == (3, 14, 1)
+
+    def test_hidden_state_is_bounded(self, rng, index_set):
+        cell = OneStepFastGConvCell(input_dim=2, hidden_dim=4, diffusion_steps=2)
+        hidden = cell.initial_state(2, 14)
+        slim = Tensor(rng.random((14, 4)))
+        for _ in range(30):
+            hidden, _ = cell(Tensor(rng.normal(size=(2, 14, 2))), hidden, slim, index_set)
+        assert np.all(np.abs(hidden.data) <= 1.0 + 1e-9)
+
+    def test_gradients_reach_all_parameters(self, rng, index_set):
+        cell = OneStepFastGConvCell(input_dim=2, hidden_dim=3, diffusion_steps=2)
+        hidden = cell.initial_state(1, 14)
+        slim = Tensor(rng.random((14, 4)))
+        _, prediction = cell(Tensor(rng.normal(size=(1, 14, 2))), hidden, slim, index_set)
+        prediction.sum().backward()
+        for name, parameter in cell.named_parameters():
+            assert parameter.grad is not None, name

@@ -1,0 +1,116 @@
+"""Tests for the Significant Neighbors Sampling module (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SignificantNeighborsSampling
+
+
+class TestCandidateConstruction:
+    def test_candidate_matrix_shape_and_range(self):
+        sampler = SignificantNeighborsSampling(num_nodes=20, num_significant=6, top_k=4, seed=0)
+        assert sampler.candidates.shape == (20, 6)
+        assert sampler.candidates.min() >= 0
+        assert sampler.candidates.max() < 20
+
+    def test_candidates_unique_within_each_row(self):
+        sampler = SignificantNeighborsSampling(num_nodes=30, num_significant=10, top_k=5, seed=1)
+        for row in sampler.candidates:
+            assert len(set(row.tolist())) == 10
+
+    def test_candidates_exclude_self_when_possible(self):
+        sampler = SignificantNeighborsSampling(num_nodes=25, num_significant=8, top_k=4, seed=2)
+        for node, row in enumerate(sampler.candidates):
+            assert node not in row
+
+    def test_every_node_appears_as_candidate(self):
+        """Amortised coverage: with M·N candidate slots, every node should be considered."""
+        sampler = SignificantNeighborsSampling(num_nodes=15, num_significant=8, top_k=4, seed=3)
+        assert set(sampler.candidates.reshape(-1).tolist()) == set(range(15))
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ValueError):
+            SignificantNeighborsSampling(num_nodes=5, num_significant=6, top_k=3)
+        with pytest.raises(ValueError):
+            SignificantNeighborsSampling(num_nodes=10, num_significant=5, top_k=0)
+        with pytest.raises(ValueError):
+            SignificantNeighborsSampling(num_nodes=10, num_significant=5, top_k=6)
+
+
+class TestSampling:
+    def test_index_set_size_and_uniqueness(self, rng):
+        sampler = SignificantNeighborsSampling(num_nodes=40, num_significant=12, top_k=8, seed=0)
+        embeddings = rng.normal(size=(40, 6))
+        index_set = sampler.sample(embeddings)
+        assert index_set.shape == (12,)
+        assert len(set(index_set.tolist())) == 12
+        assert index_set.min() >= 0 and index_set.max() < 40
+
+    def test_wrong_embedding_rows_raise(self, rng):
+        sampler = SignificantNeighborsSampling(num_nodes=10, num_significant=4, top_k=2)
+        with pytest.raises(ValueError):
+            sampler.sample(rng.normal(size=(11, 4)))
+
+    def test_globally_central_nodes_are_selected(self):
+        """Nodes whose embeddings sit at the population centre are close to almost
+        everyone, so Algorithm 1 should pick most of them into the index set.
+        Averaged over seeds, at least ~3 of the 4 planted central nodes are found."""
+        hits = []
+        for seed in range(5):
+            seeded_rng = np.random.default_rng(seed)
+            num_nodes, num_significant, top_k = 40, 16, 12
+            embeddings = seeded_rng.normal(size=(num_nodes, 4)) * 5.0
+            central = [3, 17, 29, 33]
+            embeddings[central] = seeded_rng.normal(size=(len(central), 4)) * 0.01
+            sampler = SignificantNeighborsSampling(num_nodes, num_significant, top_k, seed=seed)
+            index_set = sampler.sample(embeddings, explore=False)
+            hits.append(len(set(central) & set(index_set.tolist())))
+        assert np.mean(hits) >= 3.0
+
+    def test_explore_fills_tail_with_random_nodes(self, rng):
+        sampler = SignificantNeighborsSampling(num_nodes=50, num_significant=10, top_k=6, seed=0)
+        embeddings = rng.normal(size=(50, 5))
+        first = sampler.sample(embeddings, explore=True)
+        second = sampler.sample(embeddings, explore=True)
+        # the top-K head is deterministic given the embeddings, the tail explores
+        assert np.array_equal(first[:6], second[:6])
+        assert not np.array_equal(first[6:], second[6:])
+
+    def test_no_explore_is_deterministic(self, rng):
+        sampler = SignificantNeighborsSampling(num_nodes=50, num_significant=10, top_k=6, seed=0)
+        embeddings = rng.normal(size=(50, 5))
+        assert np.array_equal(sampler.sample(embeddings, explore=False),
+                              sampler.sample(embeddings, explore=False))
+
+    def test_last_index_set_tracking(self, rng):
+        sampler = SignificantNeighborsSampling(num_nodes=20, num_significant=5, top_k=3, seed=0)
+        assert sampler.last_index_set is None
+        index_set = sampler.sample(rng.normal(size=(20, 3)))
+        assert np.array_equal(sampler.last_index_set, index_set)
+
+    def test_random_index_set_for_ablation(self):
+        sampler = SignificantNeighborsSampling(num_nodes=30, num_significant=10, top_k=5, seed=0)
+        random_set = sampler.random_index_set()
+        assert random_set.shape == (10,)
+        assert len(set(random_set.tolist())) == 10
+
+    def test_top_k_equals_m_uses_no_exploration(self, rng):
+        sampler = SignificantNeighborsSampling(num_nodes=20, num_significant=6, top_k=6, seed=0)
+        embeddings = rng.normal(size=(20, 4))
+        assert np.array_equal(sampler.sample(embeddings, explore=True),
+                              sampler.sample(embeddings, explore=True))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(8, 30), st.integers(2, 8), st.integers(0, 50))
+def test_property_index_set_is_valid_subset(num_nodes, num_significant, seed):
+    num_significant = min(num_significant, num_nodes)
+    top_k = max(1, num_significant - 1)
+    sampler = SignificantNeighborsSampling(num_nodes, num_significant, top_k, seed=seed)
+    embeddings = np.random.default_rng(seed).normal(size=(num_nodes, 3))
+    index_set = sampler.sample(embeddings)
+    assert index_set.shape == (num_significant,)
+    assert len(np.unique(index_set)) == num_significant
+    assert index_set.min() >= 0 and index_set.max() < num_nodes

@@ -1,0 +1,152 @@
+"""Tests for the synthetic road-network, traffic and car-park generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DATASET_REGISTRY,
+    CarparkConfig,
+    TrafficConfig,
+    generate_carpark_dataset,
+    generate_road_network,
+    generate_traffic_dataset,
+    load_dataset,
+)
+from repro.graph import row_normalize
+
+
+class TestRoadNetwork:
+    def test_shapes_and_symmetry(self, tiny_network):
+        network = tiny_network
+        assert network.positions.shape == (12, 2)
+        assert network.distances.shape == (12, 12)
+        assert network.adjacency.shape == (12, 12)
+        assert np.allclose(network.adjacency, network.adjacency.T)
+        assert np.allclose(np.diag(network.adjacency), 0.0)
+
+    def test_every_node_has_neighbours(self, tiny_network):
+        assert np.all((tiny_network.adjacency > 0).sum(axis=1) >= 3)
+
+    def test_determinism(self):
+        a = generate_road_network(10, seed=3)
+        b = generate_road_network(10, seed=3)
+        assert np.allclose(a.positions, b.positions)
+        assert np.allclose(a.adjacency, b.adjacency)
+
+    def test_different_seeds_differ(self):
+        a = generate_road_network(10, seed=1)
+        b = generate_road_network(10, seed=2)
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_too_few_nodes_raises(self):
+        with pytest.raises(ValueError):
+            generate_road_network(1)
+
+    def test_networkx_graph_matches_adjacency(self, tiny_network):
+        assert tiny_network.graph.number_of_nodes() == 12
+        for u, v in tiny_network.graph.edges():
+            assert tiny_network.adjacency[u, v] > 0
+
+
+class TestTrafficGenerator:
+    def test_shape_and_metadata(self, tiny_traffic_series):
+        series = tiny_traffic_series
+        assert series.values.shape == (400, 12, 1)
+        assert series.step_minutes == 5
+        assert series.adjacency is not None
+
+    def test_speeds_are_physical(self, tiny_traffic_series):
+        values = tiny_traffic_series.values[..., 0]
+        assert values.min() >= 0.0
+        assert values.max() < 120.0
+
+    def test_missing_values_fraction(self):
+        config = TrafficConfig(num_nodes=20, num_steps=600, missing_rate=0.05, seed=0)
+        series = generate_traffic_dataset(config)
+        zero_fraction = (series.values == 0).mean()
+        assert 0.02 < zero_fraction < 0.12
+
+    def test_rush_hour_dip(self):
+        """Average weekday speed at 8am is lower than at 3am."""
+        config = TrafficConfig(num_nodes=15, num_steps=288 * 4, seed=1, missing_rate=0.0)
+        series = generate_traffic_dataset(config)
+        minutes = series.minute_of_day()
+        rush = series.values[(minutes >= 7 * 60) & (minutes <= 9 * 60)].mean()
+        calm = series.values[(minutes >= 2 * 60) & (minutes <= 4 * 60)].mean()
+        assert rush < calm
+
+    def test_spatial_correlation_is_local(self):
+        """After removing the shared daily pattern, neighbours correlate more than strangers."""
+        config = TrafficConfig(num_nodes=30, num_steps=900, seed=3, missing_rate=0.0)
+        network = generate_road_network(30, seed=3)
+        series = generate_traffic_dataset(config, network)
+        values = series.values[..., 0]
+        residual = values - values.mean(axis=1, keepdims=True)
+        correlation = np.corrcoef(residual.T)
+        neighbour_mask = network.adjacency > 0
+        np.fill_diagonal(neighbour_mask, False)
+        stranger_mask = ~(network.adjacency > 0)
+        np.fill_diagonal(stranger_mask, False)
+        assert correlation[neighbour_mask].mean() > correlation[stranger_mask].mean() + 0.05
+
+    def test_determinism(self):
+        config = TrafficConfig(num_nodes=10, num_steps=200, seed=5)
+        assert np.allclose(generate_traffic_dataset(config).values,
+                           generate_traffic_dataset(config).values)
+
+    def test_network_size_mismatch_raises(self):
+        config = TrafficConfig(num_nodes=10, num_steps=100)
+        with pytest.raises(ValueError):
+            generate_traffic_dataset(config, generate_road_network(12))
+
+
+class TestCarparkGenerator:
+    def test_counts_within_capacity(self, tiny_carpark_series):
+        values = tiny_carpark_series.values[..., 0]
+        assert values.min() >= 0.0
+        assert np.allclose(values, np.round(values))
+
+    def test_business_daily_cycle(self):
+        """Across all car parks, availability is lower mid-day than early morning on average
+        for business-dominated configurations."""
+        config = CarparkConfig(num_nodes=30, num_steps=288 * 3, business_fraction=1.0, seed=2)
+        series = generate_carpark_dataset(config)
+        minutes = series.minute_of_day()
+        midday = series.values[(minutes >= 12 * 60) & (minutes <= 15 * 60)].mean()
+        early = series.values[(minutes >= 3 * 60) & (minutes <= 5 * 60)].mean()
+        assert midday < early
+
+    def test_determinism(self):
+        config = CarparkConfig(num_nodes=8, num_steps=150, seed=9)
+        assert np.allclose(generate_carpark_dataset(config).values,
+                           generate_carpark_dataset(config).values)
+
+
+class TestRegistry:
+    def test_registry_matches_table2(self):
+        assert DATASET_REGISTRY["metr_la_like"].num_nodes == 207
+        assert DATASET_REGISTRY["london2000_like"].num_nodes == 2000
+        assert DATASET_REGISTRY["newyork2000_like"].num_nodes == 2000
+        assert DATASET_REGISTRY["carpark1918_like"].num_nodes == 1918
+        assert DATASET_REGISTRY["carpark1918_like"].history == 24
+        assert DATASET_REGISTRY["metr_la_like"].history == 12
+
+    def test_load_dataset_overrides(self):
+        series, spec = load_dataset("metr_la_like", num_nodes=15, num_steps=120)
+        assert series.num_nodes == 15
+        assert series.num_steps == 120
+        assert spec.num_nodes == 15
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("not_a_dataset")
+
+    def test_london_and_newyork_differ(self):
+        london, _ = load_dataset("london2000_like", num_nodes=20, num_steps=100)
+        newyork, _ = load_dataset("newyork2000_like", num_nodes=20, num_steps=100)
+        assert not np.allclose(london.values, newyork.values)
+
+    def test_load_dataset_deterministic(self):
+        first, _ = load_dataset("metr_la_like", num_nodes=10, num_steps=80, seed=4)
+        second, _ = load_dataset("metr_la_like", num_nodes=10, num_steps=80, seed=4)
+        assert np.allclose(first.values, second.values)

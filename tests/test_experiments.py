@@ -1,0 +1,156 @@
+"""Smoke tests for the experiment drivers at miniature scale.
+
+These tests verify the *plumbing* of every table/figure driver (correct rows,
+OOM markers, returned structure); the benchmark suite under ``benchmarks/``
+runs the same drivers at a larger scale and checks the qualitative shape of
+the paper's results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, prepare_data, run_experiment
+from repro.experiments.common import run_classical_baseline, run_neural_baseline, train_sagdfn
+from repro.experiments.large_datasets import PAPER_SCALE_NODES, run_large_dataset_table
+from repro.experiments.table8_ablation import ABLATION_VARIANTS, run_table8
+from repro.experiments.table9_non_gnn import run_table9
+from repro.experiments.table10_cost import run_table10
+from repro.experiments.fig3_sensitivity import run_fig3
+from repro.experiments.fig4_visualization import run_fig4
+
+TINY = dict(num_nodes=14, num_steps=260, epochs=1, batch_size=16)
+
+
+class TestCommonHelpers:
+    def test_prepare_data_structure(self):
+        data = prepare_data("metr_la_like", num_nodes=10, num_steps=200, batch_size=8)
+        assert data.num_nodes == 10
+        assert data.input_dim == 2
+        assert data.steps_per_day == 288
+        assert data.train.num_steps > data.val.num_steps
+        assert data.adjacency.shape == (10, 10)
+        batch_x, batch_y = next(iter(data.train_loader))
+        assert batch_x.shape[2] == 10 and batch_x.shape[3] == 2
+        assert batch_y.shape[3] == 1
+
+    def test_train_sagdfn_and_baselines_return_horizon_metrics(self):
+        data = prepare_data("metr_la_like", num_nodes=10, num_steps=220, batch_size=16)
+        _, metrics = train_sagdfn(data, epochs=1)
+        assert [entry.horizon for entry in metrics] == [3, 6, 12]
+        classical = run_classical_baseline("ARIMA", data)
+        assert len(classical) == 3
+        neural = run_neural_baseline("LSTM", data, epochs=1)
+        assert all(np.isfinite(entry.mae) for entry in neural)
+
+
+class TestRunner:
+    def test_registry_contains_every_table_and_figure(self):
+        expected = {"table1", "table3", "table4", "table5", "table6", "table7", "table8",
+                    "table9", "table10", "fig2", "fig3", "fig4"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+
+class TestTable1:
+    def test_reduction_factors(self):
+        result = run_experiment("table1")
+        assert result["reduction_vs_gts"]["memory"] == pytest.approx(20.0)
+        assert result["reduction_vs_gts"]["computation"] == pytest.approx(20.0, rel=0.05)
+        models = {profile.model for profile in result["profiles"]}
+        assert models == {"AGCRN", "GTS", "STEP", "SAGDFN"}
+
+
+class TestTable3:
+    def test_rows_and_metrics(self):
+        table = run_experiment("table3", models=("ARIMA",), **TINY)
+        assert set(table.rows) == {"ARIMA", "SAGDFN"}
+        assert table.get("SAGDFN", 3).mae > 0
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError):
+            run_experiment("table3", models=("NotAModel",), **TINY)
+
+
+class TestLargeDatasetTables:
+    def test_oom_rows_follow_memory_model(self):
+        table = run_large_dataset_table(
+            "london2000_like", models=("LSTM", "GTS", "AGCRN"), **TINY
+        )
+        assert table.rows["GTS"] is None  # OOM at paper scale
+        assert table.rows["AGCRN"] is None
+        assert table.rows["LSTM"] is not None
+        assert table.rows["SAGDFN"] is not None
+
+    def test_paper_scale_registry(self):
+        assert PAPER_SCALE_NODES["carpark1918_like"] == 1918
+        assert PAPER_SCALE_NODES["london2000_like"] == 2000
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            run_large_dataset_table("tiny_dataset", **TINY)
+
+    def test_carpark_uses_history_24(self):
+        table = run_large_dataset_table("carpark1918_like", models=("ARIMA",), num_nodes=12,
+                                        num_steps=300, epochs=1, batch_size=16)
+        assert "carpark" in table.title
+        assert table.get("SAGDFN", 12) is not None
+
+
+class TestAblationTable8:
+    def test_all_variants_present(self):
+        table = run_table8(num_nodes=12, num_steps=260, epochs=1, batch_size=16)
+        assert set(table.rows) == set(ABLATION_VARIANTS)
+
+    def test_subset_of_variants(self):
+        table = run_table8(variants=("SAGDFN", "w/o Entmax"), num_nodes=12, num_steps=260,
+                           epochs=1, batch_size=16)
+        assert set(table.rows) == {"SAGDFN", "w/o Entmax"}
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            run_table8(variants=("w/o Everything",), num_nodes=12, num_steps=260)
+
+
+class TestTable9:
+    def test_structure(self):
+        tables = run_table9(datasets=("metr_la_like",), models=("FEDformer",), num_nodes=12,
+                            num_steps=260, epochs=1, batch_size=16)
+        assert set(tables) == {"metr_la_like"}
+        assert set(tables["metr_la_like"].rows) == {"FEDformer", "SAGDFN"}
+
+
+class TestTable10:
+    def test_cost_reports(self):
+        reports = run_table10(models=("DCRNN",), num_nodes=12, num_steps=260, batch_size=16,
+                              max_batches=1)
+        names = [report.model for report in reports]
+        assert names == ["DCRNN", "SAGDFN"]
+        assert all(report.num_parameters > 0 for report in reports)
+        sagdfn = reports[-1]
+        dcrnn = reports[0]
+        assert sagdfn.train_seconds_per_epoch > 0
+        assert dcrnn.train_seconds_per_epoch > 0
+
+
+class TestFigures:
+    def test_fig3_sweeps(self):
+        result = run_fig3(alphas=(1.0, 2.0), head_counts=(1,), m_values=(4,),
+                          num_nodes=12, num_steps=260, epochs=1, batch_size=16)
+        assert set(result) == {"alpha", "heads", "m"}
+        assert set(result["alpha"]) == {1.0, 2.0}
+        assert all(value > 0 for value in result["alpha"].values())
+
+    def test_fig4_visualisation_series(self):
+        result = run_fig4(datasets=("metr_la_like",), sensors=(0,), num_nodes=12,
+                          num_steps=300, epochs=1, batch_size=16)
+        series = result["metr_la_like"]["sensors"][0]
+        assert series["ground_truth"].shape == series["prediction"].shape
+        assert series["ground_truth"].ndim == 1
+        assert np.isfinite(series["mae"])
+
+    def test_fig2_rejects_m_not_smaller_than_n(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig2", m_values=(20,), num_nodes=12, num_steps=260)

@@ -1,0 +1,123 @@
+"""End-to-end integration tests across the data → model → trainer → evaluation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import SAGDFN, SAGDFNConfig, Trainer
+from repro.data.synthetic import load_dataset
+from repro.evaluation import evaluate_neural
+from repro.evaluation.evaluator import collect_predictions
+from repro.experiments.common import prepare_data, prepare_data_from_series
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def trained_sagdfn():
+    """One SAGDFN trained for a few epochs on a small traffic dataset (shared by tests)."""
+    data = prepare_data("metr_la_like", num_nodes=16, num_steps=500, batch_size=16, seed=1)
+    config = SAGDFNConfig(
+        num_nodes=16, input_dim=2, history=data.history, horizon=data.horizon,
+        embedding_dim=8, num_significant=6, top_k=5, hidden_size=16, num_heads=2,
+        ffn_hidden=8, alpha=1.5, diffusion_steps=2, convergence_iteration=20,
+    )
+    model = SAGDFN(config)
+    trainer = Trainer(model, Adam(model.parameters(), lr=0.01), scaler=data.scaler)
+    history = trainer.fit(data.train_loader, data.val_loader, epochs=3)
+    return model, trainer, data, history
+
+
+class TestEndToEndTraining:
+    def test_training_reduces_loss_substantially(self, trained_sagdfn):
+        _, _, _, history = trained_sagdfn
+        assert history.train_losses[-1] < 0.7 * history.train_losses[0]
+
+    def test_model_beats_trivial_mean_predictor(self, trained_sagdfn):
+        """After a few epochs SAGDFN must beat always-predicting the training mean."""
+        model, trainer, data, _ = trained_sagdfn
+        metrics = trainer.evaluate(data.test_loader)
+        predictions, targets = collect_predictions(model, data.test_loader, data.scaler)
+        mean_prediction = np.full_like(targets, data.scaler.mean_)
+        mask = targets != 0
+        mean_mae = np.abs(mean_prediction - targets)[mask].mean()
+        assert metrics["mae"] < mean_mae
+
+    def test_predictions_in_physical_range(self, trained_sagdfn):
+        model, _, data, _ = trained_sagdfn
+        predictions, _ = collect_predictions(model, data.test_loader, data.scaler)
+        assert predictions.min() > -20.0
+        assert predictions.max() < 150.0
+
+    def test_per_horizon_error_increases(self, trained_sagdfn):
+        """Forecast error should grow (weakly) with the forecasting horizon."""
+        model, _, data, _ = trained_sagdfn
+        metrics = evaluate_neural(model, data.test_loader, data.scaler, horizons=(3, 12))
+        assert metrics[1].mae >= 0.8 * metrics[0].mae
+
+    def test_index_set_converged_and_valid(self, trained_sagdfn):
+        model, _, data, _ = trained_sagdfn
+        assert model.index_set is not None
+        assert len(np.unique(model.index_set)) == model.config.num_significant
+        assert model.index_set.max() < data.num_nodes
+
+    def test_state_dict_roundtrip_preserves_predictions(self, trained_sagdfn):
+        model, _, data, _ = trained_sagdfn
+        batch_x, _ = next(iter(data.test_loader))
+        before = model(Tensor(batch_x)).data.copy()
+        state = model.state_dict()
+        fresh = SAGDFN(model.config)
+        fresh.refresh_graph(10**6)  # freeze, then overwrite with saved state
+        fresh._index_set = model.index_set.copy()
+        fresh.load_state_dict(state)
+        fresh.eval()
+        after = fresh(Tensor(batch_x)).data
+        assert np.allclose(before, after, atol=1e-8)
+
+
+class TestScalabilityShape:
+    def test_forward_cost_scales_roughly_linearly_in_nodes(self):
+        """Doubling N with fixed M should far-less-than-quadruple the forward time."""
+        import time
+
+        def forward_seconds(num_nodes: int) -> float:
+            series, spec = load_dataset("metr_la_like", num_nodes=num_nodes, num_steps=160)
+            data = prepare_data_from_series(series, 12, 12, batch_size=8)
+            config = SAGDFNConfig(
+                num_nodes=num_nodes, input_dim=2, history=12, horizon=12, embedding_dim=8,
+                num_significant=8, top_k=6, hidden_size=16, num_heads=2, ffn_hidden=8,
+            )
+            model = SAGDFN(config)
+            model.refresh_graph(0)
+            batch_x, _ = next(iter(data.train_loader))
+            model(Tensor(batch_x))  # warm-up
+            start = time.perf_counter()
+            for _ in range(3):
+                model(Tensor(batch_x))
+            return time.perf_counter() - start
+
+        small, large = forward_seconds(20), forward_seconds(40)
+        assert large < small * 3.5  # quadratic scaling would approach 4x
+
+    def test_sagdfn_parameter_count_is_small(self):
+        """SAGDFN at paper-like width stays well under the baselines' parameter counts
+        reported in Table X (hundreds of thousands to tens of millions)."""
+        config = SAGDFNConfig.paper_setting(num_nodes=207)
+        model = SAGDFN(config)
+        non_embedding = model.num_parameters() - model.node_embeddings.size
+        assert non_embedding < 400_000
+
+
+class TestCarparkPipeline:
+    def test_carpark_training_and_metrics(self):
+        data = prepare_data("carpark1918_like", num_nodes=12, num_steps=400, batch_size=16, seed=2)
+        assert data.history == 24 and data.horizon == 12
+        config = SAGDFNConfig(
+            num_nodes=12, input_dim=2, history=24, horizon=12, embedding_dim=6,
+            num_significant=5, top_k=4, hidden_size=12, num_heads=2, ffn_hidden=6,
+        )
+        model = SAGDFN(config)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), scaler=data.scaler)
+        history = trainer.fit(data.train_loader, epochs=1)
+        assert history.train_losses[0] > 0
+        metrics = evaluate_neural(model, data.test_loader, data.scaler, horizons=(3, 6, 12))
+        assert all(np.isfinite(entry.mae) for entry in metrics)

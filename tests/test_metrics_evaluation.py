@@ -1,0 +1,194 @@
+"""Tests for forecasting metrics, the memory/OOM model, cost profiling and result tables."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    DEFAULT_GPU_MEMORY_GB,
+    ResultTable,
+    estimate_training_memory_gb,
+    evaluate_classical,
+    evaluate_neural,
+    max_trainable_nodes,
+    measure_cost,
+    would_oom,
+)
+from repro.baselines import HistoricalAverage, build_baseline
+from repro.evaluation.memory import MEMORY_COEFFICIENTS
+from repro.metrics import HorizonMetrics, horizon_metrics, mae, mape, metrics_dict, rmse
+
+
+class TestMetrics:
+    def test_mae_rmse_mape_basic(self):
+        prediction = np.array([2.0, 4.0])
+        target = np.array([1.0, 2.0])
+        assert mae(prediction, target) == pytest.approx(1.5)
+        assert rmse(prediction, target) == pytest.approx(np.sqrt(2.5))
+        assert mape(prediction, target) == pytest.approx((1.0 + 1.0) / 2)
+
+    def test_masking_excludes_zeros(self):
+        prediction = np.array([5.0, 100.0])
+        target = np.array([4.0, 0.0])
+        assert mae(prediction, target) == pytest.approx(1.0)
+        assert rmse(prediction, target) == pytest.approx(1.0)
+
+    def test_all_masked_returns_nan(self):
+        assert np.isnan(mae(np.ones(3), np.zeros(3)))
+
+    def test_metrics_dict_keys(self, rng):
+        result = metrics_dict(rng.normal(size=(5,)), rng.normal(size=(5,)) + 3)
+        assert set(result) == {"mae", "rmse", "mape"}
+        assert result["rmse"] >= result["mae"]
+
+    def test_horizon_metrics_shapes_and_selection(self, rng):
+        prediction = rng.normal(size=(20, 12, 4, 1)) + 50
+        target = prediction + 1.0  # constant error of 1 at every horizon
+        metrics = horizon_metrics(prediction, target, horizons=(3, 6, 12))
+        assert [entry.horizon for entry in metrics] == [3, 6, 12]
+        for entry in metrics:
+            assert entry.mae == pytest.approx(1.0)
+
+    def test_horizon_metrics_error_grows_with_horizon(self, rng):
+        target = np.abs(rng.normal(size=(10, 12, 3, 1))) + 10
+        noise = np.arange(1, 13)[None, :, None, None] * 0.1
+        prediction = target + noise
+        metrics = horizon_metrics(prediction, target)
+        assert metrics[0].mae < metrics[1].mae < metrics[2].mae
+
+    def test_horizon_out_of_range_raises(self, rng):
+        data = rng.normal(size=(5, 6, 2, 1))
+        with pytest.raises(ValueError):
+            horizon_metrics(data, data, horizons=(12,))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            horizon_metrics(rng.normal(size=(5, 6, 2, 1)), rng.normal(size=(5, 6, 3, 1)))
+
+    def test_horizon_metrics_as_dict(self):
+        entry = HorizonMetrics(horizon=3, mae=1.0, rmse=2.0, mape=0.1)
+        assert entry.as_dict() == {"mae": 1.0, "rmse": 2.0, "mape": 0.1}
+
+
+class TestMemoryModel:
+    def test_table4_maximum_graph_sizes(self):
+        """Calibration targets from Table IV at batch size 64."""
+        assert 1600 <= max_trainable_nodes("AGCRN", batch_size=64) <= 1900
+        assert 900 <= max_trainable_nodes("GTS", batch_size=64) <= 1100
+        assert 150 <= max_trainable_nodes("D2STGNN", batch_size=64) <= 260
+
+    def test_oom_pattern_matches_tables_5_to_7(self):
+        """At batch 32 and N≈2000, exactly the paper's eight baselines exceed 32 GB."""
+        expected_oom = {"STGCN", "GMAN", "AGCRN", "ASTGCN", "STSGCN", "GTS", "STEP", "D2STGNN"}
+        for num_nodes in (1918, 2000):
+            oom = {name for name in MEMORY_COEFFICIENTS
+                   if would_oom(name, num_nodes, batch_size=32)}
+            assert oom == expected_oom
+
+    def test_no_model_ooms_on_metr_la(self):
+        """Every model fits METR-LA (207 nodes) at the paper's fallback batch size of 32;
+        D2STGNN is the only one that needs the fallback (its Table IV limit is ~200 nodes
+        at batch 64)."""
+        assert not any(would_oom(name, 207, batch_size=32) for name in MEMORY_COEFFICIENTS)
+        fits_at_64 = [name for name in MEMORY_COEFFICIENTS if not would_oom(name, 207, batch_size=64)]
+        assert set(MEMORY_COEFFICIENTS) - set(fits_at_64) == {"D2STGNN"}
+
+    def test_sagdfn_memory_far_below_budget_at_2000_nodes(self):
+        estimate = estimate_training_memory_gb("SAGDFN", 2000, batch_size=32)
+        assert estimate.total_gb < DEFAULT_GPU_MEMORY_GB / 4
+
+    def test_memory_monotone_in_nodes_and_batch(self):
+        small = estimate_training_memory_gb("GTS", 500, batch_size=32).total_gb
+        large = estimate_training_memory_gb("GTS", 1000, batch_size=32).total_gb
+        larger_batch = estimate_training_memory_gb("GTS", 500, batch_size=64).total_gb
+        assert large > small
+        assert larger_batch >= small
+
+    def test_quadratic_vs_linear_scaling(self):
+        """GTS memory grows ~4x when N doubles; SAGDFN grows ~2x."""
+        gts_ratio = (estimate_training_memory_gb("GTS", 2000).total_gb
+                     / estimate_training_memory_gb("GTS", 1000).total_gb)
+        sagdfn_ratio = (estimate_training_memory_gb("SAGDFN", 2000).total_gb
+                        / estimate_training_memory_gb("SAGDFN", 1000).total_gb)
+        assert gts_ratio > 3.5
+        assert sagdfn_ratio < 2.5
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            estimate_training_memory_gb("Nothing", 100)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            estimate_training_memory_gb("GTS", 0)
+
+    def test_zero_footprint_classical_models(self):
+        assert max_trainable_nodes("ARIMA", upper=10_000) == 10_000
+
+
+class TestEvaluators:
+    def test_evaluate_neural_horizons(self, tiny_experiment_data):
+        data = tiny_experiment_data
+        model = build_baseline("LSTM", data.num_nodes, data.input_dim, data.history,
+                               data.horizon, hidden_size=8)
+        metrics = evaluate_neural(model, data.test_loader, data.scaler, horizons=(3, 6))
+        assert [entry.horizon for entry in metrics] == [3, 6]
+        assert all(entry.mae > 0 for entry in metrics)
+
+    def test_evaluate_classical_historical_average(self, tiny_traffic_series):
+        values = tiny_traffic_series.values[:, :, 0]
+        model = HistoricalAverage(history=6, horizon=6, steps_per_day=288)
+        model.fit(values[:300])
+        metrics = evaluate_classical(model, values[300:], history=6, horizon=6, horizons=(3, 6))
+        assert len(metrics) == 2
+        assert all(np.isfinite(entry.mae) for entry in metrics)
+
+    def test_measure_cost_report_fields(self, tiny_experiment_data):
+        data = tiny_experiment_data
+        model = build_baseline("GRU", data.num_nodes, data.input_dim, data.history,
+                               data.horizon, hidden_size=8)
+        report = measure_cost("GRU", model, data.train_loader, max_batches=2)
+        assert report.model == "GRU"
+        assert report.num_parameters == model.num_parameters()
+        assert report.train_seconds_per_epoch > 0
+        assert report.inference_seconds > 0
+        assert report.inference_seconds < report.train_seconds_per_epoch
+
+
+class TestResultTable:
+    def _metrics(self, value: float) -> list[HorizonMetrics]:
+        return [HorizonMetrics(h, value, value * 1.5, value / 100) for h in (3, 6, 12)]
+
+    def test_add_and_best_model(self):
+        table = ResultTable(title="demo")
+        table.add("A", self._metrics(2.0))
+        table.add("B", self._metrics(1.0))
+        table.add("C", None)
+        assert table.best_model(3) == "B"
+        assert table.oom_models() == ["C"]
+
+    def test_get_entry_and_missing_horizon(self):
+        table = ResultTable(title="demo")
+        table.add("A", self._metrics(2.0))
+        assert table.get("A", 6).mae == pytest.approx(2.0)
+        assert table.get("A", 6).rmse == pytest.approx(3.0)
+        with pytest.raises(KeyError):
+            table.get("A", 9)
+
+    def test_oom_entry_returns_none(self):
+        table = ResultTable(title="demo")
+        table.add("X", None)
+        assert table.get("X", 3) is None
+
+    def test_text_rendering_contains_oom_marker(self):
+        table = ResultTable(title="demo table")
+        table.add("A", self._metrics(1.234))
+        table.add("OOMModel", None)
+        text = table.to_text()
+        assert "demo table" in text
+        assert "×" in text
+        assert "1.234" in text
+
+    def test_best_model_without_rows_raises(self):
+        table = ResultTable(title="empty")
+        table.add("OnlyOOM", None)
+        with pytest.raises(ValueError):
+            table.best_model(3)

@@ -1,0 +1,107 @@
+"""Tests for Module / Parameter registration, state_dict and train/eval modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, ModuleList, Sequential, ReLU
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class _Composite(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8, seed=0)
+        self.second = Linear(8, 2, seed=1)
+        self.blocks = [Linear(2, 2, seed=2), Linear(2, 2, seed=3)]
+        self.lookup = {"extra": Linear(2, 1, seed=4)}
+        self.scale = Parameter(np.ones(1), name="scale")
+
+    def forward(self, x):
+        return self.second(self.first(x)) * self.scale
+
+
+class TestParameterTraversal:
+    def test_parameters_found_in_attributes_lists_and_dicts(self):
+        model = _Composite()
+        names = dict(model.named_parameters())
+        assert "first.weight" in names
+        assert "blocks.0.weight" in names
+        assert "lookup.extra.bias" in names
+        assert "scale" in names
+
+    def test_parameters_deduplicated_by_identity(self):
+        model = _Composite()
+        model.alias = model.first  # same module referenced twice
+        unique_ids = {id(p) for p in model.parameters()}
+        assert len(unique_ids) == len(model.parameters())
+
+    def test_num_parameters_counts_scalars(self):
+        linear = Linear(3, 5)
+        assert linear.num_parameters() == 3 * 5 + 5
+
+    def test_zero_grad_clears_all(self):
+        model = _Composite()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_restores_values(self):
+        model = _Composite()
+        state = model.state_dict()
+        for parameter in model.parameters():
+            parameter.data = parameter.data + 1.0
+        model.load_state_dict(state)
+        for name, parameter in model.named_parameters():
+            assert np.allclose(parameter.data, state[name])
+
+    def test_state_dict_is_a_copy(self):
+        model = _Composite()
+        state = model.state_dict()
+        state["scale"][0] = 123.0
+        assert model.scale.data[0] == 1.0
+
+    def test_load_rejects_missing_keys(self):
+        model = _Composite()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_shape_mismatch(self):
+        model = _Composite()
+        state = model.state_dict()
+        state["scale"] = np.ones(3)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestModes:
+    def test_train_eval_propagates_to_children(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5), ReLU())
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_module_list_len_and_indexing(self):
+        blocks = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(blocks) == 2
+        assert isinstance(blocks[1], Linear)
+        blocks.append(Linear(2, 2))
+        assert len(blocks) == 3
+
+    def test_module_list_cannot_be_called(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([Linear(2, 2)])(Tensor(np.ones((1, 2))))
+
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(3, 4, seed=0), ReLU(), Linear(4, 2, seed=1))
+        out = model(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(model) == 3
+        assert isinstance(model[0], Linear)

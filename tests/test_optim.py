@@ -1,0 +1,178 @@
+"""Tests for optimisers, gradient clipping and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.nn.module import Parameter
+from repro.optim import (
+    Adam,
+    CosineAnnealingLR,
+    MultiStepLR,
+    ReduceLROnPlateau,
+    SGD,
+    StepLR,
+    clip_grad_norm,
+    clip_grad_value,
+)
+from repro.tensor import Tensor
+
+
+def _quadratic_step(optimizer, parameter):
+    """One gradient step on f(w) = ||w||² / 2 (gradient = w)."""
+    optimizer.zero_grad()
+    parameter.grad = parameter.data.copy()
+    optimizer.step()
+
+
+class TestSGD:
+    def test_plain_sgd_matches_closed_form(self):
+        w = Parameter(np.array([10.0]))
+        optimizer = SGD([w], lr=0.1)
+        _quadratic_step(optimizer, w)
+        assert w.data[0] == pytest.approx(9.0)
+
+    def test_momentum_accelerates(self):
+        w_plain = Parameter(np.array([10.0]))
+        w_momentum = Parameter(np.array([10.0]))
+        plain = SGD([w_plain], lr=0.05)
+        momentum = SGD([w_momentum], lr=0.05, momentum=0.9)
+        for _ in range(20):
+            _quadratic_step(plain, w_plain)
+            _quadratic_step(momentum, w_momentum)
+        assert abs(w_momentum.data[0]) < abs(w_plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Parameter(np.array([1.0]))
+        optimizer = SGD([w], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        w.grad = np.zeros(1)
+        optimizer.step()
+        assert w.data[0] < 1.0
+
+    def test_skips_parameters_without_gradient(self):
+        w = Parameter(np.array([2.0]))
+        SGD([w], lr=0.1).step()
+        assert w.data[0] == 2.0
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.array([5.0, -3.0]))
+        optimizer = Adam([w], lr=0.2)
+        for _ in range(200):
+            _quadratic_step(optimizer, w)
+        assert np.all(np.abs(w.data) < 0.05)
+
+    def test_first_step_size_close_to_lr(self):
+        w = Parameter(np.array([1.0]))
+        optimizer = Adam([w], lr=0.01)
+        _quadratic_step(optimizer, w)
+        assert 1.0 - w.data[0] == pytest.approx(0.01, rel=1e-3)
+
+    def test_trains_a_regression_model(self, rng):
+        model = Linear(4, 1, seed=0)
+        true_weights = rng.normal(size=(4, 1))
+        optimizer = Adam(model.parameters(), lr=0.05)
+        x = rng.normal(size=(128, 4))
+        y = x @ true_weights
+        first_loss = None
+        for _ in range(150):
+            optimizer.zero_grad()
+            model.zero_grad()
+            prediction = model(Tensor(x))
+            loss = ((prediction - Tensor(y)) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+            if first_loss is None:
+                first_loss = loss.item()
+        assert loss.item() < 0.01 * first_loss
+        assert np.allclose(model.weight.data, true_weights, atol=0.15)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.1, 0.9))
+
+
+class TestClipping:
+    def test_clip_grad_norm_scales_down(self):
+        w = Parameter(np.zeros(4))
+        w.grad = np.full(4, 10.0)
+        norm_before = clip_grad_norm([w], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_grad_norm_no_change_when_small(self):
+        w = Parameter(np.zeros(2))
+        w.grad = np.array([0.1, 0.1])
+        clip_grad_norm([w], max_norm=5.0)
+        assert np.allclose(w.grad, [0.1, 0.1])
+
+    def test_clip_grad_norm_empty(self):
+        assert clip_grad_norm([Parameter(np.ones(2))], 1.0) == 0.0
+
+    def test_clip_grad_value(self):
+        w = Parameter(np.zeros(3))
+        w.grad = np.array([-10.0, 0.5, 10.0])
+        clip_grad_value([w], 1.0)
+        assert np.allclose(w.grad, [-1.0, 0.5, 1.0])
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.ones(1))], lr=lr)
+
+    def test_step_lr_halves_at_step_size(self):
+        optimizer = self._optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(1.0)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_multi_step_lr(self):
+        optimizer = self._optimizer()
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.1)
+        for _ in range(4):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_cosine_annealing_reaches_minimum(self):
+        optimizer = self._optimizer()
+        scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_annealing_monotone_decreasing(self):
+        optimizer = self._optimizer()
+        scheduler = CosineAnnealingLR(optimizer, t_max=8)
+        previous = optimizer.lr
+        for _ in range(8):
+            scheduler.step()
+            assert optimizer.lr <= previous + 1e-12
+            previous = optimizer.lr
+
+    def test_reduce_on_plateau(self):
+        optimizer = self._optimizer()
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+        scheduler.step(1.0)
+        scheduler.step(1.0)
+        scheduler.step(1.0)  # two bad epochs exceed patience -> halve
+        assert optimizer.lr == pytest.approx(0.5)
+
+    def test_reduce_on_plateau_resets_on_improvement(self):
+        optimizer = self._optimizer()
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=2)
+        scheduler.step(1.0)
+        scheduler.step(0.5)
+        scheduler.step(0.4)
+        assert optimizer.lr == pytest.approx(1.0)

@@ -1,0 +1,128 @@
+"""Edge-case and failure-injection tests across the library.
+
+These complement the per-module unit tests with the awkward inputs a
+downstream user will eventually hit: missing data everywhere, constant
+series, trainers without scalers, degenerate graph sizes, and extreme
+α-entmax inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_baseline
+from repro.core import SAGDFN, SAGDFNConfig, Trainer
+from repro.data import DataLoader, MultivariateTimeSeries, SlidingWindowDataset, StandardScaler
+from repro.experiments.common import prepare_data_from_series
+from repro.nn.loss import masked_mae
+from repro.optim import Adam
+from repro.sparse import alpha_entmax_np, entmax_support_size
+from repro.tensor import Tensor
+
+
+class TestEntmaxExtremes:
+    def test_huge_logits_do_not_overflow(self):
+        z = np.array([[1e4, -1e4, 0.0]])
+        for alpha in (1.0, 1.5, 2.0):
+            p = alpha_entmax_np(z, alpha)
+            assert np.all(np.isfinite(p))
+            assert p[0, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_tied_logits_share_mass(self):
+        z = np.array([[3.0, 3.0, -50.0]])
+        p = alpha_entmax_np(z, 1.5)
+        assert p[0, 0] == pytest.approx(p[0, 1], abs=1e-9)
+        assert p[0, 2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_element_axis(self):
+        p = alpha_entmax_np(np.array([[4.2]]), 1.7)
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_support_size_counts_positives(self):
+        p = np.array([[0.5, 0.5, 0.0], [1.0, 0.0, 0.0]])
+        assert entmax_support_size(p).tolist() == [2, 1]
+
+
+class TestDegenerateData:
+    def test_constant_series_trains_without_nan(self):
+        series = MultivariateTimeSeries(np.full((120, 6, 1), 42.0), step_minutes=5)
+        data = prepare_data_from_series(series, history=4, horizon=4, batch_size=8)
+        config = SAGDFNConfig(num_nodes=6, input_dim=2, history=4, horizon=4, embedding_dim=4,
+                              num_significant=3, top_k=2, hidden_size=8, num_heads=1, ffn_hidden=4)
+        model = SAGDFN(config)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), scaler=data.scaler)
+        losses = trainer.fit(data.train_loader, epochs=1)
+        assert np.isfinite(losses.train_losses[0])
+
+    def test_all_missing_batch_gives_zero_loss(self):
+        prediction = Tensor(np.random.default_rng(0).normal(size=(2, 3, 4, 1)))
+        target = Tensor(np.zeros((2, 3, 4, 1)))
+        assert masked_mae(prediction, target, null_value=0.0).item() == pytest.approx(0.0)
+
+    def test_heavily_missing_series_still_trains(self, rng):
+        values = np.abs(rng.normal(loc=30, scale=5, size=(150, 8, 1)))
+        missing = rng.random(values.shape) < 0.5
+        values = np.where(missing, 0.0, values)
+        series = MultivariateTimeSeries(values, step_minutes=5)
+        data = prepare_data_from_series(series, history=4, horizon=4, batch_size=8)
+        model = build_baseline("GRU", 8, 2, 4, 4, hidden_size=8)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), scaler=data.scaler)
+        history = trainer.fit(data.train_loader, epochs=1)
+        assert np.isfinite(history.train_losses[0])
+
+    def test_trainer_without_scaler(self, rng):
+        values = rng.normal(size=(100, 5, 1)) + 10.0
+        series = MultivariateTimeSeries(values, step_minutes=5)
+        dataset = SlidingWindowDataset(series.with_time_covariates(), 4, 4, target_series=series)
+        loader = DataLoader(dataset, batch_size=8)
+        model = build_baseline("GRU", 5, 2, 4, 4, hidden_size=8)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), scaler=None)
+        history = trainer.fit(loader, epochs=1)
+        assert np.isfinite(history.train_losses[0])
+
+    def test_evaluate_on_empty_loader_returns_nan(self, rng):
+        model = build_baseline("GRU", 5, 2, 4, 4, hidden_size=8)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01))
+
+        class _EmptyLoader:
+            def __iter__(self):
+                return iter([])
+
+        metrics = trainer.evaluate(_EmptyLoader())
+        assert np.isnan(metrics["mae"])
+
+
+class TestDegenerateGraphs:
+    def test_sagdfn_with_m_equal_n(self, rng):
+        """Slim width equal to the node count degrades gracefully to a full graph."""
+        config = SAGDFNConfig(num_nodes=6, input_dim=2, history=4, horizon=3, embedding_dim=4,
+                              num_significant=6, top_k=6, hidden_size=8, num_heads=1,
+                              ffn_hidden=4)
+        model = SAGDFN(config)
+        out = model(Tensor(rng.normal(size=(2, 4, 6, 2))))
+        assert out.shape == (2, 3, 6, 1)
+        assert model.index_set.shape == (6,)
+
+    def test_sagdfn_with_two_nodes(self, rng):
+        config = SAGDFNConfig(num_nodes=2, input_dim=2, history=3, horizon=2, embedding_dim=3,
+                              num_significant=1, top_k=1, hidden_size=4, num_heads=1, ffn_hidden=3)
+        model = SAGDFN(config)
+        out = model(Tensor(rng.normal(size=(1, 3, 2, 2))))
+        assert out.shape == (1, 2, 2, 1)
+
+    def test_dcrnn_with_disconnected_graph(self, rng):
+        adjacency = np.zeros((6, 6))
+        model = build_baseline("DCRNN", 6, 2, 4, 3, adjacency=adjacency, hidden_size=8)
+        out = model(Tensor(rng.normal(size=(2, 4, 6, 2))))
+        assert np.all(np.isfinite(out.data))
+
+
+class TestScalerEdgeCases:
+    def test_scaler_on_single_value(self):
+        scaler = StandardScaler().fit(np.array([[5.0]]))
+        assert scaler.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.0)
+        assert scaler.inverse_transform(np.array([[0.0]]))[0, 0] == pytest.approx(5.0)
+
+    def test_prepare_data_rejects_too_short_series(self, rng):
+        series = MultivariateTimeSeries(rng.normal(size=(30, 4, 1)))
+        with pytest.raises(ValueError):
+            prepare_data_from_series(series, history=12, horizon=12)

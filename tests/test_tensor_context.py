@@ -1,0 +1,65 @@
+"""Tests for the no_grad context manager and gradient-recording state."""
+
+import numpy as np
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad
+
+
+def test_grad_enabled_by_default():
+    assert is_grad_enabled()
+
+
+def test_no_grad_disables_and_restores():
+    assert is_grad_enabled()
+    with no_grad():
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+def test_no_grad_nested():
+    with no_grad():
+        with no_grad():
+            assert not is_grad_enabled()
+        assert not is_grad_enabled()
+    assert is_grad_enabled()
+
+
+def test_no_grad_restores_after_exception():
+    try:
+        with no_grad():
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert is_grad_enabled()
+
+
+def test_tensor_created_inside_no_grad_ignores_flag():
+    with no_grad():
+        tensor = Tensor([1.0], requires_grad=True)
+    assert not tensor.requires_grad
+
+
+def test_operations_inside_no_grad_have_no_parents():
+    x = Tensor([2.0], requires_grad=True)
+    with no_grad():
+        y = x * 3.0
+    assert y._parents == ()
+    assert y._backward is None
+
+
+def test_no_grad_as_decorator():
+    @no_grad()
+    def evaluate(tensor):
+        return tensor * 2.0
+
+    result = evaluate(Tensor([1.0], requires_grad=True))
+    assert not result.requires_grad
+
+
+def test_graph_recording_resumes_after_no_grad():
+    x = Tensor([2.0], requires_grad=True)
+    with no_grad():
+        _ = x * 3.0
+    y = x * 4.0
+    y.backward()
+    assert np.allclose(x.grad, [4.0])

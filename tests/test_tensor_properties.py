@@ -1,0 +1,100 @@
+"""Property-based tests (hypothesis) for the autodiff engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, concat, no_grad
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side: int = 4):
+    shapes = st.tuples(st.integers(1, max_side), st.integers(1, max_side))
+    return shapes.flatmap(lambda shape: arrays(np.float64, shape, elements=finite_floats))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_addition_is_commutative(values):
+    a, b = Tensor(values), Tensor(values * 0.5 + 1.0)
+    assert np.allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_exp_log_inverse_on_positive_values(values):
+    positive = Tensor(np.abs(values) + 1.0)
+    assert np.allclose(positive.exp().log().data, positive.data, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_of_parts_equals_sum_of_whole(values):
+    tensor = Tensor(values)
+    total = tensor.sum().item()
+    by_axis = tensor.sum(axis=0).sum().item()
+    assert np.isclose(total, by_axis)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_concat_then_split_roundtrip(values):
+    tensor = Tensor(values)
+    joined = concat([tensor, tensor], axis=0)
+    assert joined.shape[0] == 2 * values.shape[0]
+    assert np.allclose(joined.data[: values.shape[0]], values)
+    assert np.allclose(joined.data[values.shape[0]:], values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_linear_gradient_matches_weight(values):
+    """d(sum(x @ w)) / dx equals the broadcast row-sums of w."""
+    rng = np.random.default_rng(0)
+    weight = rng.normal(size=(values.shape[1], 3))
+    x = Tensor(values, requires_grad=True)
+    (x.matmul(Tensor(weight))).sum().backward()
+    expected = np.tile(weight.sum(axis=1), (values.shape[0], 1))
+    assert np.allclose(x.grad, expected, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_is_idempotent(values):
+    tensor = Tensor(values)
+    once = tensor.relu().data
+    twice = tensor.relu().relu().data
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sigmoid_symmetry(values):
+    """sigmoid(-x) == 1 - sigmoid(x)."""
+    tensor = Tensor(values)
+    assert np.allclose((-tensor).sigmoid().data, 1.0 - tensor.sigmoid().data, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_no_grad_blocks_graph(values):
+    x = Tensor(values, requires_grad=True)
+    with no_grad():
+        out = x * 2.0 + 1.0
+    assert not out.requires_grad
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.integers(0, 1))
+def test_transpose_involution(values, axis_choice):
+    tensor = Tensor(values)
+    assert np.allclose(tensor.transpose().transpose().data, values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mean_is_sum_over_size(values):
+    tensor = Tensor(values)
+    assert np.isclose(tensor.mean().item(), tensor.sum().item() / values.size)

@@ -1,0 +1,132 @@
+"""Tests for the utility helpers (seed, timer, logging, checkpoint) and the experiments CLI."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import SAGDFN, SAGDFNConfig
+from repro.experiments.__main__ import build_parser, main
+from repro.nn import Linear, Sequential, ReLU
+from repro.tensor import Tensor
+from repro.utils import Timer, get_logger, load_checkpoint, save_checkpoint, seed_everything, spawn_rng
+
+
+class TestSeeding:
+    def test_seed_everything_reproducible(self):
+        rng_a = seed_everything(123)
+        values_a = rng_a.normal(size=5)
+        rng_b = seed_everything(123)
+        values_b = rng_b.normal(size=5)
+        assert np.allclose(values_a, values_b)
+
+    def test_spawn_rng_none_uses_default(self):
+        assert np.allclose(spawn_rng(None, default=7).normal(size=3),
+                           spawn_rng(7).normal(size=3))
+
+    def test_spawn_rng_different_seeds_differ(self):
+        assert not np.allclose(spawn_rng(1).normal(size=3), spawn_rng(2).normal(size=3))
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        with timer:
+            time.sleep(0.01)
+        assert timer.count == 2
+        assert timer.total >= 0.02
+        assert timer.mean == pytest.approx(timer.total / 2)
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_mean_of_empty_timer_is_zero(self):
+        assert Timer().mean == 0.0
+
+
+class TestLogging:
+    def test_logger_has_single_handler(self):
+        first = get_logger("repro.test.logger")
+        second = get_logger("repro.test.logger")
+        assert first is second
+        assert len(first.handlers) == 1
+        assert first.level == logging.INFO
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_parameters_and_metadata(self, tmp_path):
+        model = Sequential(Linear(4, 8, seed=0), ReLU(), Linear(8, 2, seed=1))
+        path = save_checkpoint(model, tmp_path / "model", metadata={"epoch": 7, "mae": 1.25})
+        assert path.suffix == ".npz"
+
+        clone = Sequential(Linear(4, 8, seed=5), ReLU(), Linear(8, 2, seed=6))
+        metadata = load_checkpoint(clone, path)
+        assert metadata == {"epoch": 7, "mae": 1.25}
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        assert np.allclose(model(x).data, clone(x).data)
+
+    def test_mismatched_architecture_raises(self, tmp_path):
+        path = save_checkpoint(Linear(4, 2, seed=0), tmp_path / "linear")
+        # Same parameter names but different shapes -> shape error; a model with
+        # different parameter names raises a key error instead.
+        with pytest.raises(ValueError):
+            load_checkpoint(Linear(5, 2, seed=0), path)
+        with pytest.raises(KeyError):
+            load_checkpoint(Sequential(Linear(4, 2, seed=0), ReLU()), path)
+
+    def test_sagdfn_checkpoint_roundtrip(self, tmp_path, rng):
+        config = SAGDFNConfig(num_nodes=8, input_dim=2, history=4, horizon=3, embedding_dim=4,
+                              num_significant=3, top_k=2, hidden_size=8, num_heads=1, ffn_hidden=4)
+        model = SAGDFN(config)
+        model.refresh_graph(0)
+        path = save_checkpoint(model, tmp_path / "sagdfn", metadata={"dataset": "tiny"})
+        clone = SAGDFN(config)
+        clone._index_set = model.index_set.copy()
+        metadata = load_checkpoint(clone, path)
+        assert metadata["dataset"] == "tiny"
+        batch = Tensor(rng.normal(size=(2, 4, 8, 2)))
+        clone.eval()
+        model.eval()
+        assert np.allclose(model(batch).data, clone(batch).data)
+
+
+class TestTeacherForcingConfig:
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SAGDFNConfig(num_nodes=8, num_significant=4, top_k=3, teacher_forcing=1.5)
+
+    def test_teacher_forcing_propagates_to_forecaster(self):
+        config = SAGDFNConfig(num_nodes=8, num_significant=4, top_k=3, teacher_forcing=0.7)
+        model = SAGDFN(config)
+        assert model.forecaster.teacher_forcing == pytest.approx(0.7)
+
+
+class TestExperimentsCLI:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "table3" in output and "fig4" in output
+
+    def test_no_arguments_lists_experiments(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_table1_via_cli(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "reduction_vs_gts" in output
+
+    def test_small_table3_via_cli(self, capsys):
+        code = main(["table3", "--num-nodes", "10", "--num-steps", "220", "--epochs", "1",
+                     "--batch-size", "16"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SAGDFN" in output
