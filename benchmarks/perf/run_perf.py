@@ -1,0 +1,239 @@
+"""Micro-benchmark runner for the large-graph hot paths.
+
+Times the three costs that dominate SAGDFN training at Table VI/VII scales
+(N = 200 / 2000 / 10000 nodes):
+
+* ``attention`` — the sparse spatial multi-head attention forward, both the
+  vectorised batched-matmul path (:meth:`forward`) and the seed's per-head
+  loop (:meth:`forward_looped`), at float32 and float64;
+* ``gconv`` — one :class:`FastGraphConv` forward over the slim adjacency;
+* ``train_step`` — one full SAGDFN forward + backward + optimiser step.
+
+Results are written as JSON (default: ``BENCH_attention.json`` at the repo
+root) so subsequent PRs have a perf trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py                 # N = 200, 2000
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --smoke         # CI: N = 200 only
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --sizes 200 2000 10000
+
+The headline ``attention_speedup_vs_seed`` compares the vectorised kernel
+under the engine's float32 policy against the seed per-head loop at the
+seed's pinned float64 — i.e. the combined effect of this PR's two hot-path
+changes.  Per-dtype numbers are also recorded for apples-to-apples reading.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.core import SAGDFN, SAGDFNConfig, SparseSpatialMultiHeadAttention, FastGraphConv
+from repro.nn.loss import masked_mae
+from repro.nn.module import Parameter
+from repro.optim import Adam, clip_grad_norm
+from repro.tensor import Tensor, default_dtype
+
+SCHEMA_VERSION = 1
+DEFAULT_SIZES = (200, 2000)
+
+
+def _time(fn, repeats: int, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in milliseconds."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def bench_attention(num_nodes: int, m: int, heads: int, embedding_dim: int,
+                    ffn_hidden: int, repeats: int, dtype: str,
+                    include_loop: bool) -> dict[str, float]:
+    with default_dtype(dtype):
+        rng = np.random.default_rng(0)
+        attention = SparseSpatialMultiHeadAttention(
+            embedding_dim=embedding_dim, num_heads=heads, ffn_hidden=ffn_hidden, seed=0
+        )
+        embeddings = Parameter(rng.normal(size=(num_nodes, embedding_dim)), name="embeddings")
+        index_set = rng.choice(num_nodes, size=m, replace=False)
+
+        timings = {
+            "attention_vectorized_ms": _time(
+                lambda: attention(embeddings, index_set), repeats
+            )
+        }
+        if include_loop:
+            timings["attention_loop_ms"] = _time(
+                lambda: attention.forward_looped(embeddings, index_set), repeats
+            )
+        return timings
+
+
+def bench_gconv(num_nodes: int, m: int, hidden: int, repeats: int, dtype: str) -> float:
+    with default_dtype(dtype):
+        rng = np.random.default_rng(0)
+        conv = FastGraphConv(input_dim=hidden, output_dim=hidden, diffusion_steps=2, seed=0)
+        x = Tensor(rng.normal(size=(1, num_nodes, hidden)))
+        slim = Tensor(np.abs(rng.random((num_nodes, m))))
+        index_set = rng.choice(num_nodes, size=m, replace=False)
+        return _time(lambda: conv(x, slim, index_set), repeats)
+
+
+def bench_train_step(num_nodes: int, m: int, heads: int, embedding_dim: int,
+                     ffn_hidden: int, hidden: int, repeats: int, dtype: str) -> float:
+    with default_dtype(dtype):
+        rng = np.random.default_rng(0)
+        config = SAGDFNConfig(
+            num_nodes=num_nodes, history=6, horizon=6, embedding_dim=embedding_dim,
+            num_significant=m, top_k=max(1, int(m * 0.8)), hidden_size=hidden,
+            num_heads=heads, ffn_hidden=ffn_hidden, seed=0,
+        )
+        model = SAGDFN(config)
+        model.refresh_graph(0)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        x = rng.normal(size=(2, 6, num_nodes, config.input_dim))
+        y = np.abs(rng.normal(size=(2, 6, num_nodes, 1))) + 1.0
+
+        def step():
+            model.zero_grad()
+            loss = masked_mae(model(Tensor(x)), Tensor(y), null_value=0.0)
+            loss.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+
+        return _time(step, repeats)
+
+
+def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
+        train_step_max_n) -> dict:
+    results = []
+    for num_nodes in sizes:
+        m_eff = min(m, num_nodes)
+        for dtype in ("float32", "float64"):
+            entry = {
+                "num_nodes": int(num_nodes),
+                "num_significant": int(m_eff),
+                "dtype": dtype,
+            }
+            entry.update(
+                bench_attention(num_nodes, m_eff, heads, embedding_dim, ffn_hidden,
+                                repeats, dtype, include_loop=True)
+            )
+            if "attention_loop_ms" in entry:
+                entry["attention_speedup"] = (
+                    entry["attention_loop_ms"] / entry["attention_vectorized_ms"]
+                )
+            entry["gconv_ms"] = bench_gconv(num_nodes, m_eff, hidden, repeats, dtype)
+            if num_nodes <= train_step_max_n:
+                entry["train_step_ms"] = bench_train_step(
+                    num_nodes, m_eff, heads, embedding_dim, ffn_hidden, hidden,
+                    repeats, dtype
+                )
+            results.append(entry)
+            print(
+                f"N={num_nodes:>6} M={m_eff:>3} {dtype}: "
+                f"attention vectorized {entry['attention_vectorized_ms']:.2f} ms, "
+                f"loop {entry.get('attention_loop_ms', float('nan')):.2f} ms "
+                f"({entry.get('attention_speedup', float('nan')):.2f}x), "
+                f"gconv {entry['gconv_ms']:.2f} ms, "
+                f"train step {entry.get('train_step_ms', float('nan')):.2f} ms",
+                flush=True,
+            )
+
+    # Headline: vectorised kernel under the float32 policy vs the seed's
+    # float64 per-head loop, per node count.
+    headline = {}
+    by_key = {(e["num_nodes"], e["dtype"]): e for e in results}
+    for num_nodes in sizes:
+        seed_entry = by_key.get((num_nodes, "float64"))
+        new_entry = by_key.get((num_nodes, "float32"))
+        if seed_entry and new_entry and "attention_loop_ms" in seed_entry:
+            headline[str(num_nodes)] = (
+                seed_entry["attention_loop_ms"] / new_entry["attention_vectorized_ms"]
+            )
+
+    return {
+        "benchmark": "attention",
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "num_significant": int(m),
+            "num_heads": int(heads),
+            "embedding_dim": int(embedding_dim),
+            "ffn_hidden": int(ffn_hidden),
+            "hidden_size": int(hidden),
+            "repeats": int(repeats),
+            "numpy": np.__version__,
+        },
+        "attention_speedup_vs_seed": headline,
+        "results": results,
+    }
+
+
+def validate_schema(report: dict) -> None:
+    """Raise ``ValueError`` if ``report`` is not a valid benchmark report."""
+    for key in ("benchmark", "schema_version", "config", "results",
+                "attention_speedup_vs_seed"):
+        if key not in report:
+            raise ValueError(f"missing top-level key {key!r}")
+    if not isinstance(report["results"], list) or not report["results"]:
+        raise ValueError("results must be a non-empty list")
+    for entry in report["results"]:
+        for key in ("num_nodes", "num_significant", "dtype",
+                    "attention_vectorized_ms", "gconv_ms"):
+            if key not in entry:
+                raise ValueError(f"result entry missing key {key!r}: {entry}")
+        if entry["dtype"] not in {"float32", "float64"}:
+            raise ValueError(f"unexpected dtype {entry['dtype']!r}")
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+                        help="node counts N to benchmark (default: 200 2000)")
+    parser.add_argument("--m", type=int, default=40,
+                        help="number of significant neighbours M (default: 40)")
+    parser.add_argument("--heads", type=int, default=8)
+    parser.add_argument("--embedding-dim", type=int, default=16)
+    parser.add_argument("--ffn-hidden", type=int, default=32)
+    parser.add_argument("--hidden", type=int, default=16,
+                        help="GRU/gconv hidden size for the gconv and train-step benches")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--train-step-max-n", type=int, default=2000,
+                        help="skip the train-step bench above this node count")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: N=200 only, single repeat")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_attention.json")
+    args = parser.parse_args(argv)
+
+    if any(size < 1 for size in args.sizes):
+        parser.error("--sizes values must be positive node counts")
+    if args.m < 1 or args.repeats < 1:
+        parser.error("--m and --repeats must be >= 1")
+
+    if args.smoke:
+        args.sizes = [min(args.sizes)]
+        args.repeats = 1
+
+    report = run(args.sizes, args.m, args.heads, args.embedding_dim,
+                 args.ffn_hidden, args.hidden, args.repeats, args.train_step_max_n)
+    validate_schema(report)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -83,11 +83,13 @@ class MTGNNForecaster(NeuralForecaster):
         data = scores.data
         if self.top_k < self.num_nodes:
             threshold = np.sort(data, axis=1)[:, -self.top_k][:, None]
-            mask = (data >= threshold).astype(np.float64)
+            mask = (data >= threshold).astype(data.dtype)
         else:
             mask = np.ones_like(data)
-        masked = scores * Tensor(mask)
-        row_sums = Tensor(np.maximum(masked.data.sum(axis=1, keepdims=True), 1e-10))
+        masked = scores * Tensor(mask, dtype=data.dtype)
+        row_sums = Tensor(
+            np.maximum(masked.data.sum(axis=1, keepdims=True), 1e-10), dtype=data.dtype
+        )
         return masked / row_sums
 
     def forward(self, history: Tensor) -> Tensor:

@@ -6,16 +6,145 @@ neighbour) pair with ``P`` independent feed-forward networks, normalises each
 head's scores with α-entmax along the neighbour axis to enforce sparsity, and
 mixes the heads with a linear map ``W_a`` into the slim dense adjacency
 ``A_s ∈ R^{N×M}`` consumed by the fast graph convolution.
+
+Implementation notes (the large-graph hot path)
+-----------------------------------------------
+The reference formulation feeds the materialised pair tensor
+``[e_i ‖ e_j] ∈ R^{N×M×2d}`` through each head's FFN in a Python loop.  This
+module instead holds the ``P`` scoring FFNs as *stacked* weight tensors
+(``head_w1 ∈ R^{P×2d×h}`` …) and exploits the linearity of the first layer
+over the concatenation:
+
+.. math::
+
+    W_1^T [e_i ‖ e_j] = W_{1,\\text{node}}^T e_i + W_{1,\\text{neigh}}^T e_j
+
+so the first-layer cost drops from ``O(N·M·2d·h)`` to ``O((N+M)·d·h)`` per
+head and no ``(N, M, 2d)`` tensor is ever materialised.  All heads are scored
+by two batched matmuls and normalised by a single α-entmax call.
+
+The remaining cost is the ``(P, N, M, h)`` hidden activation; at N = 10000 it
+would be gigabytes.  :func:`_batched_pair_scores` therefore tiles the node
+axis (flash-attention style): each tile's hidden activations live in a
+cache-sized scratch buffer and only the ``(P, N, M, 2)`` raw scores are ever
+materialised.  The backward pass recomputes each tile's activations instead
+of storing them, trading a second cheap pass for an ``O(N·M·h)`` → ``O(N·M)``
+reduction in autograd memory.  The mathematically equivalent per-head loop is
+retained as :meth:`forward_looped` for equivalence tests and as the benchmark
+baseline.
+
+Checkpoints from the per-head era (keys ``heads.{p}.input_layer.weight`` …)
+are migrated transparently by :meth:`_upgrade_state_dict`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import FeedForward, Linear
-from repro.nn.module import Module
+from repro.nn import Linear, init
+from repro.nn.module import Module, Parameter
 from repro.sparse import alpha_entmax
 from repro.tensor import Tensor, concat
+from repro.utils.seed import spawn_rng
+
+# Scratch-buffer budget of the tiled scoring kernel: tiles are sized so one
+# (P, tile, M, h) hidden-activation block stays around this many bytes,
+# keeping the add/bias/relu/matmul chain in cache instead of streaming a
+# (P, N, M, h) tensor through main memory several times.
+_TILE_BYTES = 4 * 1024 * 1024
+
+
+def _batched_pair_scores(
+    embeddings: Tensor,
+    neighbour_embeddings: Tensor,
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+) -> Tensor:
+    """Raw pair scores ``(P, N, M, out)`` of all ``P`` scoring FFNs at once.
+
+    Computes ``relu(E W1_node + E_I W1_neigh + b1) W2 + b2`` for every
+    (node, neighbour) pair without materialising either the ``(N, M, 2d)``
+    pair tensor or the full ``(P, N, M, h)`` hidden activation: the node axis
+    is processed in cache-sized tiles, and the backward pass recomputes each
+    tile's activations rather than keeping them alive in the graph.
+    """
+    num_nodes, dim = embeddings.shape
+    num_significant = neighbour_embeddings.shape[0]
+    heads, _, hidden = w1.shape
+    out = w2.shape[-1]
+
+    e = embeddings.data
+    e_i = neighbour_embeddings.data
+    w1_node, w1_neigh = w1.data[:, :dim, :], w1.data[:, dim:, :]
+    dtype = np.result_type(e.dtype, w1.data.dtype)
+
+    node_part = np.matmul(e, w1_node)  # (P, N, h)
+    neigh_part = np.matmul(e_i, w1_neigh) + b1.data[:, None, :]  # (P, M, h)
+
+    tile = int(_TILE_BYTES // max(1, heads * num_significant * hidden * dtype.itemsize))
+    tile = max(1, min(num_nodes, tile))
+
+    def _tiles(buffer, consume):
+        """Recompute relu(node + neigh) tile-by-tile and hand each to ``consume``."""
+        for start in range(0, num_nodes, tile):
+            stop = min(start + tile, num_nodes)
+            pre = buffer[:, : stop - start]
+            np.add(node_part[:, start:stop, None, :], neigh_part[:, None, :, :], out=pre)
+            np.maximum(pre, 0.0, out=pre)
+            consume(start, stop, pre)
+
+    raw = np.empty((heads, num_nodes, num_significant, out), dtype=dtype)
+    scratch = np.empty((heads, tile, num_significant, hidden), dtype=dtype)
+
+    def _forward_tile(start, stop, pre):
+        rows = (stop - start) * num_significant
+        np.matmul(
+            pre.reshape(heads, rows, hidden),
+            w2.data,
+            out=raw[:, start:stop].reshape(heads, rows, out),
+        )
+
+    _tiles(scratch, _forward_tile)
+    raw += b2.data[:, None, None, :]
+
+    def backward(grad):
+        grad = np.ascontiguousarray(grad, dtype=dtype)
+        grad_w2 = np.zeros_like(w2.data)
+        grad_node = np.empty_like(node_part)
+        grad_neigh_pre = np.zeros_like(neigh_part)
+        buffer = np.empty((heads, tile, num_significant, hidden), dtype=dtype)
+        w2_t = np.ascontiguousarray(np.swapaxes(w2.data, -1, -2))
+
+        def _backward_tile(start, stop, pre):
+            nonlocal grad_w2, grad_neigh_pre
+            rows = (stop - start) * num_significant
+            grad_tile = grad[:, start:stop].reshape(heads, rows, out)
+            grad_w2 += np.matmul(
+                np.swapaxes(pre.reshape(heads, rows, hidden), -1, -2), grad_tile
+            )
+            grad_pre = np.matmul(grad_tile, w2_t).reshape(
+                heads, stop - start, num_significant, hidden
+            )
+            grad_pre *= pre > 0.0  # relu mask from the recomputed activations
+            grad_node[:, start:stop] = grad_pre.sum(axis=2)
+            grad_neigh_pre += grad_pre.sum(axis=1)
+
+        _tiles(buffer, _backward_tile)
+
+        grad_e = np.matmul(grad_node, np.swapaxes(w1_node, -1, -2)).sum(axis=0)
+        grad_e_i = np.matmul(grad_neigh_pre, np.swapaxes(w1_neigh, -1, -2)).sum(axis=0)
+        grad_w1 = np.concatenate(
+            [np.matmul(e.T, grad_node), np.matmul(e_i.T, grad_neigh_pre)], axis=1
+        )
+        grad_b1 = grad_neigh_pre.sum(axis=1)
+        grad_b2 = grad.sum(axis=(1, 2))
+        return grad_e, grad_e_i, grad_w1, grad_b1, grad_w2, grad_b2
+
+    return Tensor._make(
+        raw, (embeddings, neighbour_embeddings, w1, b1, w2, b2), backward
+    )
 
 
 class SparseSpatialMultiHeadAttention(Module):
@@ -37,6 +166,8 @@ class SparseSpatialMultiHeadAttention(Module):
         ``E E_Iᵀ`` (the "w/o Attention" ablation).
     """
 
+    _HEAD_OUT = 2  # each scoring FFN emits 2 channels per (node, neighbour) pair
+
     def __init__(
         self,
         embedding_dim: int,
@@ -55,14 +186,76 @@ class SparseSpatialMultiHeadAttention(Module):
         base = 0 if seed is None else seed
         self.embedding_dim = embedding_dim
         self.num_heads = num_heads
+        self.ffn_hidden = ffn_hidden
         self.alpha = 1.0 if normalizer == "softmax" else alpha
         self.use_pairwise_attention = use_pairwise_attention
-        self.heads = [
-            FeedForward(2 * embedding_dim, ffn_hidden, 2, activation="relu", seed=base + 10 * p)
-            for p in range(num_heads)
-        ]
-        self.mixer = Linear(2 * num_heads, 1, seed=base + 997)
+        # Stacked scoring FFNs.  Per-head slices are drawn with the same
+        # seeds the per-head FeedForward modules used (seed + 10p for layer
+        # one, +1 for layer two), so fresh models initialise identically to
+        # the reference implementation.
+        out = self._HEAD_OUT
+        w1 = np.stack(
+            [
+                init.xavier_uniform((2 * embedding_dim, ffn_hidden), spawn_rng(base + 10 * p))
+                for p in range(num_heads)
+            ]
+        )
+        w2 = np.stack(
+            [
+                init.xavier_uniform((ffn_hidden, out), spawn_rng(base + 10 * p + 1))
+                for p in range(num_heads)
+            ]
+        )
+        self.head_w1 = Parameter(w1, name="head_w1")  # (P, 2d, h)
+        self.head_b1 = Parameter(init.zeros((num_heads, ffn_hidden)), name="head_b1")
+        self.head_w2 = Parameter(w2, name="head_w2")  # (P, h, 2)
+        self.head_b2 = Parameter(init.zeros((num_heads, out)), name="head_b2")
+        self.mixer = Linear(out * num_heads, 1, seed=base + 997)
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint migration
+    # ------------------------------------------------------------------ #
+    def _upgrade_state_dict(
+        self, prefix: str, state: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Stack legacy per-head FFN keys into the batched parameters.
+
+        Pre-vectorisation checkpoints stored each scoring FFN as a list
+        entry: ``{prefix}heads.{p}.input_layer.weight`` and so on.  They are
+        rewritten to ``{prefix}head_w1`` … so old checkpoints keep loading.
+        A checkpoint whose head count does not match ``num_heads`` is left
+        untouched, so :meth:`Module.load_state_dict` reports the usual
+        structured missing/unexpected-key mismatch instead of a bare error.
+        """
+        legacy_keys = [
+            f"{prefix}heads.{p}.{layer}.{kind}"
+            for p in range(self.num_heads)
+            for layer in ("input_layer", "output_layer")
+            for kind in ("weight", "bias")
+        ]
+        if f"{prefix}heads.0.input_layer.weight" not in state:
+            return state
+        if not all(key in state for key in legacy_keys) or (
+            f"{prefix}heads.{self.num_heads}.input_layer.weight" in state
+        ):
+            return state  # head-count mismatch: fall through to key matching
+        state = dict(state)
+        w1, b1, w2, b2 = [], [], [], []
+        for p in range(self.num_heads):
+            head = f"{prefix}heads.{p}."
+            w1.append(state.pop(f"{head}input_layer.weight"))
+            b1.append(state.pop(f"{head}input_layer.bias"))
+            w2.append(state.pop(f"{head}output_layer.weight"))
+            b2.append(state.pop(f"{head}output_layer.bias"))
+        state[f"{prefix}head_w1"] = np.stack(w1)
+        state[f"{prefix}head_b1"] = np.stack(b1)
+        state[f"{prefix}head_w2"] = np.stack(w2)
+        state[f"{prefix}head_b2"] = np.stack(b2)
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Forward passes
+    # ------------------------------------------------------------------ #
     def forward(self, embeddings: Tensor, index_set: np.ndarray) -> Tensor:
         """Return the slim adjacency ``A_s`` of shape ``(N, M)``.
 
@@ -80,7 +273,46 @@ class SparseSpatialMultiHeadAttention(Module):
             scores = embeddings.matmul(neighbour_embeddings.transpose())  # (N, M)
             return alpha_entmax(scores, alpha=self.alpha, axis=-1)
 
-        # Eq. 1: pair every node with every significant neighbour.
+        heads, out = self.num_heads, self._HEAD_OUT
+        # Eq. 1–2: all P scoring FFNs in one tiled, batched kernel.
+        raw = _batched_pair_scores(
+            embeddings,
+            neighbour_embeddings,
+            self.head_w1,
+            self.head_b1,
+            self.head_w2,
+            self.head_b2,
+        )  # (P, N, M, 2)
+
+        # Eq. 3–4: sparsify along the neighbour axis, all heads in one call.
+        normalised = alpha_entmax(raw, alpha=self.alpha, axis=2)
+
+        # Eq. 5–6: interleave channels head-by-head — (N, M, 2P) with the
+        # same [head0-ch0, head0-ch1, head1-ch0, …] layout the per-head
+        # concat produced — and mix into one correlation strength per pair.
+        multi_head = normalised.transpose(1, 2, 0, 3).reshape(
+            num_nodes, num_significant, out * heads
+        )
+        slim_adjacency = self.mixer(multi_head).squeeze(-1)  # (N, M)
+        return slim_adjacency
+
+    def forward_looped(self, embeddings: Tensor, index_set: np.ndarray) -> Tensor:
+        """Reference per-head scoring loop (the pre-vectorisation hot path).
+
+        Mathematically equivalent to :meth:`forward` — it materialises the
+        ``(N, M, 2d)`` pair tensor and runs one FFN + α-entmax per head, as
+        the seed implementation did.  Kept for equivalence tests and as the
+        baseline the ``benchmarks/perf`` runner measures speedups against.
+        """
+        index_set = np.asarray(index_set, dtype=np.int64)
+        num_nodes = embeddings.shape[0]
+        num_significant = index_set.shape[0]
+        neighbour_embeddings = embeddings[index_set]  # (M, d)
+
+        if not self.use_pairwise_attention:
+            scores = embeddings.matmul(neighbour_embeddings.transpose())  # (N, M)
+            return alpha_entmax(scores, alpha=self.alpha, axis=-1)
+
         expanded_nodes = embeddings.unsqueeze(1).broadcast_to(
             (num_nodes, num_significant, self.embedding_dim)
         )
@@ -89,14 +321,12 @@ class SparseSpatialMultiHeadAttention(Module):
         )
         pairs = concat([expanded_nodes, expanded_neighbours], axis=-1)  # (N, M, 2d)
 
-        # Eq. 2–4: score with P FFNs and sparsify along the neighbour axis.
         head_outputs = []
-        for head in self.heads:
-            raw = head(pairs)  # (N, M, 2)
-            normalised = alpha_entmax(raw, alpha=self.alpha, axis=1)
-            head_outputs.append(normalised)
+        for p in range(self.num_heads):
+            hidden = (pairs.matmul(self.head_w1[p]) + self.head_b1[p]).relu()
+            raw = hidden.matmul(self.head_w2[p]) + self.head_b2[p]  # (N, M, 2)
+            head_outputs.append(alpha_entmax(raw, alpha=self.alpha, axis=1))
         multi_head = concat(head_outputs, axis=-1)  # (N, M, 2P)
 
-        # Eq. 5–6: mix the heads into a single correlation strength per pair.
         slim_adjacency = self.mixer(multi_head).squeeze(-1)  # (N, M)
         return slim_adjacency

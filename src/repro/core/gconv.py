@@ -112,8 +112,9 @@ class OneStepFastGConvCell(Module):
         )
 
     def initial_state(self, batch_size: int, num_nodes: int) -> Tensor:
-        """Zero hidden state of shape ``(batch, N, hidden)``."""
-        return Tensor(np.zeros((batch_size, num_nodes, self.hidden_dim)))
+        """Zero hidden state of shape ``(batch, N, hidden)``, in the cell's dtype."""
+        dtype = self.projection.dtype
+        return Tensor(np.zeros((batch_size, num_nodes, self.hidden_dim)), dtype=dtype)
 
     def forward(
         self,

@@ -122,15 +122,23 @@ class Trainer:
         return float(np.mean(losses)) if losses else float("nan")
 
     def evaluate(self, loader: DataLoader) -> dict[str, float]:
-        """Compute masked MAE / RMSE / MAPE over every batch of ``loader``."""
+        """Compute masked MAE / RMSE / MAPE over every batch of ``loader``.
+
+        The model's train/eval mode is restored on exit, so evaluating a
+        model that was already in eval mode does not silently re-enable
+        dropout/batch-norm updates for subsequent callers.
+        """
+        was_training = self.model.training
         self.model.eval()
         predictions, targets = [], []
-        with no_grad():
-            for batch_x, batch_y in loader:
-                output = self._denormalise(self._forward(batch_x))
-                predictions.append(output.data)
-                targets.append(batch_y)
-        self.model.train()
+        try:
+            with no_grad():
+                for batch_x, batch_y in loader:
+                    output = self._denormalise(self._forward(batch_x))
+                    predictions.append(output.data)
+                    targets.append(batch_y)
+        finally:
+            self.model.train(was_training)
         if not predictions:
             return {"mae": float("nan"), "rmse": float("nan"), "mape": float("nan")}
         prediction = Tensor(np.concatenate(predictions, axis=0))
@@ -177,7 +185,15 @@ class Trainer:
                 if val_metrics is not None:
                     message += f" val_mae {val_metrics['mae']:.4f}"
                 self.logger.info(message)
-            if patience is not None and val_loader is not None and bad_epochs > patience:
+            # Stop once the validation MAE has failed to improve for
+            # ``patience`` consecutive epochs (``bad_epochs > 0`` keeps an
+            # improving epoch from tripping the ``patience=0`` edge case).
+            if (
+                patience is not None
+                and val_loader is not None
+                and bad_epochs > 0
+                and bad_epochs >= patience
+            ):
                 break
         if best_state is not None:
             self.model.load_state_dict(best_state)

@@ -1,8 +1,16 @@
-"""Feature scalers fit on the training split and applied everywhere."""
+"""Feature scalers fit on the training split and applied everywhere.
+
+Transformed arrays follow the engine's precision policy
+(:func:`repro.tensor.get_default_dtype`): statistics are accumulated in
+float64 for numerical robustness, but ``transform`` / ``inverse_transform``
+emit policy-dtype arrays so a float32 model sees float32 inputs end-to-end.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.tensor import get_default_dtype
 
 
 class StandardScaler:
@@ -30,11 +38,13 @@ class StandardScaler:
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         self._check()
-        return (np.asarray(values, dtype=np.float64) - self.mean_) / self.std_
+        dtype = get_default_dtype()
+        return (np.asarray(values, dtype=dtype) - dtype.type(self.mean_)) / dtype.type(self.std_)
 
     def inverse_transform(self, values: np.ndarray) -> np.ndarray:
         self._check()
-        return np.asarray(values, dtype=np.float64) * self.std_ + self.mean_
+        dtype = get_default_dtype()
+        return np.asarray(values, dtype=dtype) * dtype.type(self.std_) + dtype.type(self.mean_)
 
     def fit_transform(self, values: np.ndarray) -> np.ndarray:
         return self.fit(values).transform(values)
@@ -61,11 +71,15 @@ class MinMaxScaler:
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         self._check()
-        return (np.asarray(values, dtype=np.float64) - self.min_) / (self.max_ - self.min_)
+        dtype = get_default_dtype()
+        scale = dtype.type(self.max_ - self.min_)
+        return (np.asarray(values, dtype=dtype) - dtype.type(self.min_)) / scale
 
     def inverse_transform(self, values: np.ndarray) -> np.ndarray:
         self._check()
-        return np.asarray(values, dtype=np.float64) * (self.max_ - self.min_) + self.min_
+        dtype = get_default_dtype()
+        scale = dtype.type(self.max_ - self.min_)
+        return np.asarray(values, dtype=dtype) * scale + dtype.type(self.min_)
 
     def fit_transform(self, values: np.ndarray) -> np.ndarray:
         return self.fit(values).transform(values)

@@ -1,8 +1,16 @@
-"""Weight initialisation schemes (Glorot/Xavier, Kaiming/He, uniform, constant)."""
+"""Weight initialisation schemes (Glorot/Xavier, Kaiming/He, uniform, constant).
+
+Every initialiser returns an array in the engine's policy dtype
+(:func:`repro.tensor.get_default_dtype`) unless an explicit ``dtype`` is
+given, so models built under ``set_default_dtype("float32")`` come out
+float32 end-to-end without a second cast at :class:`Parameter` creation.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.tensor.dtype import get_default_dtype
 
 
 def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -16,35 +24,42 @@ def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
     return fan_in, fan_out
 
 
-def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def _cast(array: np.ndarray, dtype) -> np.ndarray:
+    return array.astype(dtype if dtype is not None else get_default_dtype(), copy=False)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0,
+                   dtype=None) -> np.ndarray:
     """Glorot & Bengio (2010) uniform initialisation."""
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0,
+                  dtype=None) -> np.ndarray:
     """Glorot & Bengio (2010) normal initialisation."""
     fan_in, fan_out = _fan_in_out(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape), dtype)
 
 
-def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator, dtype=None) -> np.ndarray:
     """He et al. (2015) uniform initialisation for ReLU networks."""
     fan_in, _ = _fan_in_out(shape)
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def uniform(shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.1,
+            high: float = 0.1, dtype=None) -> np.ndarray:
     """Plain uniform initialisation in ``[low, high)``."""
-    return rng.uniform(low, high, size=shape)
+    return _cast(rng.uniform(low, high, size=shape), dtype)
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+def zeros(shape: tuple[int, ...], dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype if dtype is not None else get_default_dtype())
 
 
-def ones(shape: tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape)
+def ones(shape: tuple[int, ...], dtype=None) -> np.ndarray:
+    return np.ones(shape, dtype=dtype if dtype is not None else get_default_dtype())

@@ -16,8 +16,8 @@ class Parameter(Tensor):
     automatically registered and returned by :meth:`Module.parameters`.
     """
 
-    def __init__(self, data, name: str | None = None):
-        super().__init__(data, requires_grad=True, name=name)
+    def __init__(self, data, name: str | None = None, dtype=None):
+        super().__init__(data, requires_grad=True, name=name, dtype=dtype)
 
     def __repr__(self) -> str:
         return f"Parameter(shape={self.shape}, name={self.name!r})"
@@ -84,20 +84,29 @@ class Module:
 
     def modules(self) -> Iterator["Module"]:
         """Yield this module and all of its descendants."""
-        yield self
-        for value in vars(self).items():
-            pass
-        for value in vars(self).values():
+        for _, module in self.named_modules():
+            yield module
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(prefix, module)`` pairs for this module and its descendants.
+
+        Prefixes follow the :meth:`named_parameters` convention: the root
+        module has prefix ``""`` and a child assigned as ``self.attention``
+        has prefix ``"attention."``, so ``prefix + parameter_name`` is the
+        key the parameter takes in :meth:`state_dict`.
+        """
+        yield prefix, self
+        for name, value in vars(self).items():
             if isinstance(value, Module):
-                yield from value.modules()
+                yield from value.named_modules(prefix=f"{prefix}{name}.")
             elif isinstance(value, (list, tuple)):
-                for item in value:
+                for i, item in enumerate(value):
                     if isinstance(item, Module):
-                        yield from item.modules()
+                        yield from item.named_modules(prefix=f"{prefix}{name}.{i}.")
             elif isinstance(value, dict):
-                for item in value.values():
+                for key, item in value.items():
                     if isinstance(item, Module):
-                        yield from item.modules()
+                        yield from item.named_modules(prefix=f"{prefix}{name}.{key}.")
 
     def num_parameters(self) -> int:
         """Total number of scalar parameters, used for the Table X comparison."""
@@ -118,6 +127,53 @@ class Module:
         for parameter in self.parameters():
             parameter.zero_grad()
 
+    def to(self, dtype) -> "Module":
+        """Cast every parameter and floating buffer (Tensor or ndarray) to ``dtype``.
+
+        Complements the engine-wide precision policy
+        (:func:`repro.tensor.set_default_dtype`): use ``to`` to convert an
+        already-built model, e.g. ``model.to(np.float32)``.
+        """
+        dtype = np.dtype(dtype)
+        if not np.issubdtype(dtype, np.floating):
+            raise ValueError(f"Module.to expects a floating dtype, got {dtype}")
+        for parameter in self.parameters():
+            parameter.data = parameter.data.astype(dtype, copy=False)
+            if parameter.grad is not None:
+                parameter.grad = parameter.grad.astype(dtype, copy=False)
+        def cast(value):
+            """Cast one buffer (Tensor or floating ndarray); None if untouched."""
+            if isinstance(value, Parameter):
+                return None  # already cast above (deduplicated by identity)
+            if isinstance(value, Tensor):
+                if np.issubdtype(value.data.dtype, np.floating):
+                    value.data = value.data.astype(dtype, copy=False)
+                return None  # mutated in place
+            if isinstance(value, np.ndarray) and np.issubdtype(value.dtype, np.floating):
+                return value.astype(dtype, copy=False)
+            return None
+
+        for module in self.modules():
+            for name, value in vars(module).items():
+                if isinstance(value, (list, tuple)):
+                    items = [cast(item) if not isinstance(item, Module) else None
+                             for item in value]
+                    if any(item is not None for item in items):
+                        rebuilt = [new if new is not None else old
+                                   for old, new in zip(value, items)]
+                        setattr(module, name, type(value)(rebuilt))
+                elif isinstance(value, dict):
+                    for key, item in value.items():
+                        if not isinstance(item, Module):
+                            replacement = cast(item)
+                            if replacement is not None:
+                                value[key] = replacement
+                else:
+                    replacement = cast(value)
+                    if replacement is not None:
+                        setattr(module, name, replacement)
+        return self
+
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #
@@ -125,8 +181,27 @@ class Module:
         """Return a copy of every parameter keyed by its dotted name."""
         return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
 
+    def _upgrade_state_dict(
+        self, prefix: str, state: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Hook for migrating legacy checkpoint keys to the current layout.
+
+        Called by :meth:`load_state_dict` for every module in the tree with
+        that module's :meth:`named_modules` prefix.  Subclasses that change
+        their parameterisation override this to rewrite old keys in ``state``
+        (e.g. stacking per-head weights); the default is the identity.
+        """
+        return state
+
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameters previously captured by :meth:`state_dict`."""
+        """Load parameters previously captured by :meth:`state_dict`.
+
+        Legacy checkpoints are transparently upgraded via the per-module
+        :meth:`_upgrade_state_dict` hooks before key matching.
+        """
+        state = dict(state)
+        for prefix, module in self.named_modules():
+            state = module._upgrade_state_dict(prefix, state)
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)

@@ -53,7 +53,8 @@ class GRUCell(Module):
         return update * h + (1.0 - update) * candidate
 
     def initial_state(self, batch_size: int) -> Tensor:
-        return Tensor(np.zeros((batch_size, self.hidden_size)))
+        dtype = self.update_gate.weight.dtype
+        return Tensor(np.zeros((batch_size, self.hidden_size)), dtype=dtype)
 
 
 class LSTMCell(Module):
@@ -81,8 +82,9 @@ class LSTMCell(Module):
         return h_next, c_next
 
     def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        dtype = self.forget_gate.weight.dtype
         zeros = np.zeros((batch_size, self.hidden_size))
-        return Tensor(zeros.copy()), Tensor(zeros.copy())
+        return Tensor(zeros.copy(), dtype=dtype), Tensor(zeros.copy(), dtype=dtype)
 
 
 class GRU(Module):

@@ -40,9 +40,16 @@ class Adam(Optimizer):
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for parameter, m, v in zip(self.parameters, self._m, self._v):
+        for index, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
+            # Keep moment buffers in the parameter's dtype, so a model cast
+            # with Module.to(float32) is not silently promoted back to
+            # float64 by stale float64 optimizer state on the first step.
+            if self._m[index].dtype != parameter.data.dtype:
+                self._m[index] = self._m[index].astype(parameter.data.dtype)
+                self._v[index] = self._v[index].astype(parameter.data.dtype)
+            m, v = self._m[index], self._v[index]
             grad = parameter.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data

@@ -36,9 +36,13 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for parameter, velocity in zip(self.parameters, self._velocity):
+        for index, parameter in enumerate(self.parameters):
             if parameter.grad is None:
                 continue
+            # Align momentum state with the parameter dtype (see Adam.step).
+            if self._velocity[index].dtype != parameter.data.dtype:
+                self._velocity[index] = self._velocity[index].astype(parameter.data.dtype)
+            velocity = self._velocity[index]
             grad = parameter.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data

@@ -25,9 +25,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor import Tensor
+from repro.tensor import Tensor, get_default_dtype
 
 _EPS = 1e-12
+
+
+def _as_float(z: np.ndarray) -> np.ndarray:
+    """Coerce to a floating array, preserving float32/float64 inputs.
+
+    Non-floating inputs (ints, lists) follow the engine's precision policy;
+    floating inputs keep their dtype so a float32 model never silently pays
+    for float64 intermediates inside the normalisers.
+    """
+    z = np.asarray(z)
+    if not np.issubdtype(z.dtype, np.floating):
+        z = z.astype(get_default_dtype())
+    return z
 
 
 # --------------------------------------------------------------------------- #
@@ -35,7 +48,7 @@ _EPS = 1e-12
 # --------------------------------------------------------------------------- #
 def softmax_np(z: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically stable softmax on a plain array."""
-    z = np.asarray(z, dtype=np.float64)
+    z = _as_float(z)
     shifted = z - z.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -43,29 +56,29 @@ def softmax_np(z: np.ndarray, axis: int = -1) -> np.ndarray:
 
 def sparsemax_np(z: np.ndarray, axis: int = -1) -> np.ndarray:
     """Exact sparsemax (Martins & Astudillo, 2016) via the sort-based solver."""
-    z = np.asarray(z, dtype=np.float64)
+    z = _as_float(z)
     z = np.moveaxis(z, axis, -1)
     shape = z.shape
     flat = z.reshape(-1, shape[-1])
     sorted_z = -np.sort(-flat, axis=-1)
     cumsum = np.cumsum(sorted_z, axis=-1)
-    k_range = np.arange(1, shape[-1] + 1)
+    k_range = np.arange(1, shape[-1] + 1, dtype=z.dtype)
     support = sorted_z * k_range > (cumsum - 1.0)
     k = support.sum(axis=-1)
-    tau = (np.take_along_axis(cumsum, k[:, None] - 1, axis=-1).squeeze(-1) - 1.0) / k
+    tau = (np.take_along_axis(cumsum, k[:, None] - 1, axis=-1).squeeze(-1) - 1.0) / k.astype(z.dtype)
     out = np.maximum(flat - tau[:, None], 0.0)
     return np.moveaxis(out.reshape(shape), -1, axis)
 
 
 def entmax15_np(z: np.ndarray, axis: int = -1) -> np.ndarray:
     """Exact 1.5-entmax via the sort-based solver of Peters et al. (2019)."""
-    z = np.asarray(z, dtype=np.float64) / 2.0
+    z = _as_float(z) / 2.0
     z = np.moveaxis(z, axis, -1)
     shape = z.shape
     flat = z.reshape(-1, shape[-1])
     flat = flat - flat.max(axis=-1, keepdims=True)
     sorted_z = -np.sort(-flat, axis=-1)
-    k_range = np.arange(1, shape[-1] + 1)
+    k_range = np.arange(1, shape[-1] + 1, dtype=z.dtype)
     mean = np.cumsum(sorted_z, axis=-1) / k_range
     mean_sq = np.cumsum(sorted_z**2, axis=-1) / k_range
     ss = k_range * (mean_sq - mean**2)
@@ -82,7 +95,7 @@ def entmax15_np(z: np.ndarray, axis: int = -1) -> np.ndarray:
 
 def _entmax_bisect_np(z: np.ndarray, alpha: float, n_iter: int = 60) -> np.ndarray:
     """General α-entmax (α > 1) along the last axis via bisection on τ."""
-    z = np.asarray(z, dtype=np.float64)
+    z = _as_float(z)
     scaled = (alpha - 1.0) * z
     max_val = scaled.max(axis=-1, keepdims=True)
     # τ lies in [max - 1, max): at τ = max - 1 the sum is ≥ 1, at τ = max it is 0.
@@ -116,7 +129,7 @@ def alpha_entmax_np(z: np.ndarray, alpha: float = 1.5, axis: int = -1) -> np.nda
         return sparsemax_np(z, axis=axis)
     if abs(alpha - 1.5) < 1e-8:
         return entmax15_np(z, axis=axis)
-    z = np.moveaxis(np.asarray(z, dtype=np.float64), axis, -1)
+    z = np.moveaxis(_as_float(z), axis, -1)
     out = _entmax_bisect_np(z, alpha)
     return np.moveaxis(out, -1, axis)
 

@@ -15,6 +15,9 @@ complete tensor abstraction the paper's model and all baselines require:
   verification utilities used heavily in the test-suite.
 * :class:`~repro.tensor.context.no_grad` — context manager disabling graph
   recording during evaluation.
+* :func:`~repro.tensor.dtype.set_default_dtype` /
+  :class:`~repro.tensor.dtype.default_dtype` — the engine-wide floating
+  precision policy (float32 or float64) applied to every new tensor.
 
 Example
 -------
@@ -27,6 +30,7 @@ Example
 """
 
 from repro.tensor.context import is_grad_enabled, no_grad
+from repro.tensor.dtype import default_dtype, get_default_dtype, set_default_dtype
 from repro.tensor.grad_check import check_gradients, numerical_gradient
 from repro.tensor.tensor import Tensor, concat, maximum, minimum, stack, where
 
@@ -41,4 +45,7 @@ __all__ = [
     "is_grad_enabled",
     "numerical_gradient",
     "check_gradients",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
 ]

@@ -1,0 +1,78 @@
+"""Engine-wide floating-point precision policy.
+
+The tensor engine historically pinned every array to ``float64``.  Large
+SAGDFN scenarios (Table VI/VII, N = 2000–10000 nodes) are memory-bandwidth
+bound, so running the whole model in ``float32`` halves the traffic of the
+attention and graph-convolution hot paths.  This module holds the *default
+dtype* every new :class:`~repro.tensor.tensor.Tensor` (and therefore every
+:class:`~repro.nn.module.Parameter`, initializer draw and scaler output) is
+coerced to.
+
+The policy is thread-local, mirroring :mod:`repro.tensor.context`:
+
+>>> from repro.tensor import set_default_dtype, get_default_dtype, default_dtype
+>>> set_default_dtype("float32")          # global switch
+>>> with default_dtype("float64"):        # scoped override
+...     pass
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+_SUPPORTED = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _canonical(dtype) -> np.dtype:
+    """Normalise ``dtype`` ("float32", np.float32, dtype(...)) to a np.dtype."""
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED:
+        supported = ", ".join(str(d) for d in _SUPPORTED)
+        raise ValueError(f"unsupported default dtype {dtype!r}; expected one of: {supported}")
+    return resolved
+
+
+class _DtypeState(threading.local):
+    """Thread-local default floating dtype of the engine."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.dtype = np.dtype(np.float64)
+
+
+_STATE = _DtypeState()
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype newly created tensors are coerced to."""
+    return _STATE.dtype
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the engine-wide default dtype (``float32`` or ``float64``)."""
+    _STATE.dtype = _canonical(dtype)
+
+
+class default_dtype:
+    """Context manager scoping the default dtype to a ``with`` block.
+
+    >>> import numpy as np
+    >>> from repro.tensor import Tensor, default_dtype
+    >>> with default_dtype(np.float32):
+    ...     t = Tensor([1.0, 2.0])
+    >>> t.dtype == np.float32
+    True
+    """
+
+    def __init__(self, dtype):
+        self._dtype = _canonical(dtype)
+
+    def __enter__(self) -> "default_dtype":
+        self._previous = _STATE.dtype
+        _STATE.dtype = self._dtype
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        _STATE.dtype = self._previous

@@ -19,18 +19,37 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.tensor.context import is_grad_enabled
+from repro.tensor.dtype import get_default_dtype
 
 ArrayLike = "Tensor | np.ndarray | float | int | list | tuple"
 
-_DEFAULT_DTYPE = np.float64
-
 
 def _as_array(value, dtype=None) -> np.ndarray:
-    """Coerce ``value`` to a NumPy array of the engine's default dtype."""
+    """Coerce ``value`` to a NumPy array of the engine's default dtype.
+
+    An explicit ``dtype`` overrides the policy; see
+    :mod:`repro.tensor.dtype` for the engine-wide default.
+    """
     if isinstance(value, Tensor):
         value = value.data
-    array = np.asarray(value, dtype=dtype if dtype is not None else _DEFAULT_DTYPE)
+    array = np.asarray(value, dtype=dtype if dtype is not None else get_default_dtype())
     return array
+
+
+def _wrap_operand(value, like: np.ndarray) -> "Tensor":
+    """Wrap the non-Tensor operand of a binary op.
+
+    Scalars (python numbers, NumPy scalars, 0-d arrays) follow the dtype of
+    the Tensor operand — like ``torch`` — so ``x + 1.0`` or ``1.0 / x`` never
+    silently promotes a float32 graph to the float64 policy default.  Arrays
+    and nested lists go through the normal policy coercion.
+    """
+    if isinstance(value, Tensor):
+        return value
+    if np.isscalar(value) or (isinstance(value, np.ndarray) and value.ndim == 0):
+        if np.issubdtype(like.dtype, np.floating):
+            return Tensor(value, dtype=like.dtype)
+    return Tensor(value)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -65,14 +84,17 @@ class Tensor:
         ``grad`` attribute is populated by :meth:`backward`.
     name:
         Optional human-readable label used in ``repr`` and error messages.
+    dtype:
+        Explicit dtype of the stored array.  ``None`` (the default) coerces
+        to the engine-wide policy dtype (:func:`repro.tensor.get_default_dtype`).
     """
 
     __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
 
     __array_priority__ = 100  # ensure Tensor.__rmul__ wins over np.ndarray
 
-    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
-        self.data = _as_array(data)
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None, dtype=None):
+        self.data = _as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: np.ndarray | None = None
         self.name = name
@@ -123,11 +145,20 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def copy(self) -> "Tensor":
         """Return a graph-detached deep copy."""
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast; gradients are cast back on the way down."""
+        data = self.data.astype(dtype, copy=False)
+
+        def backward(grad):
+            return (grad,)
+
+        return Tensor._make(data, (self,), backward)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient to ``None``."""
@@ -142,9 +173,15 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        """Create the output tensor of an operation, wiring the graph."""
+        """Create the output tensor of an operation, wiring the graph.
+
+        The result keeps the dtype NumPy produced for ``data`` (operations
+        follow their operands) rather than re-coercing to the policy dtype,
+        so mixed-precision graphs behave like plain NumPy promotion.
+        """
         requires_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires_grad)
+        data = np.asarray(data)
+        out = Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
         if requires_grad:
             out._parents = tuple(parents)
             out._backward = backward
@@ -226,7 +263,7 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _wrap_operand(other, self.data)
         data = self.data + other.data
 
         def backward(grad):
@@ -237,7 +274,7 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _wrap_operand(other, self.data)
         data = self.data - other.data
 
         def backward(grad):
@@ -246,10 +283,10 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return Tensor(other) - self
+        return _wrap_operand(other, self.data) - self
 
     def __mul__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _wrap_operand(other, self.data)
         data = self.data * other.data
         self_data, other_data = self.data, other.data
 
@@ -261,7 +298,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = _wrap_operand(other, self.data)
         data = self.data / other.data
         self_data, other_data = self.data, other.data
 
@@ -273,7 +310,7 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return Tensor(other) / self
+        return _wrap_operand(other, self.data) / self
 
     def __neg__(self) -> "Tensor":
         data = -self.data

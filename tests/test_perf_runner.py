@@ -1,0 +1,84 @@
+"""Schema tests for the ``benchmarks/perf`` micro-benchmark runner."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def run_perf():
+    spec = importlib.util.spec_from_file_location(
+        "run_perf", REPO_ROOT / "benchmarks" / "perf" / "run_perf.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tiny_report(run_perf, tmp_path_factory):
+    output = tmp_path_factory.mktemp("perf") / "bench.json"
+    report = run_perf.main(
+        [
+            "--sizes", "24",
+            "--m", "6",
+            "--heads", "2",
+            "--embedding-dim", "4",
+            "--ffn-hidden", "4",
+            "--hidden", "4",
+            "--repeats", "1",
+            "--output", str(output),
+        ]
+    )
+    return report, output
+
+
+class TestPerfRunner:
+    def test_report_passes_schema_validation(self, run_perf, tiny_report):
+        report, _ = tiny_report
+        run_perf.validate_schema(report)
+
+    def test_written_json_round_trips(self, tiny_report):
+        report, output = tiny_report
+        on_disk = json.loads(output.read_text())
+        assert on_disk["benchmark"] == report["benchmark"] == "attention"
+        assert on_disk["schema_version"] == report["schema_version"]
+        assert len(on_disk["results"]) == len(report["results"])
+
+    def test_both_dtypes_and_speedups_present(self, tiny_report):
+        report, _ = tiny_report
+        dtypes = {entry["dtype"] for entry in report["results"]}
+        assert dtypes == {"float32", "float64"}
+        for entry in report["results"]:
+            assert entry["attention_vectorized_ms"] > 0
+            assert entry["attention_loop_ms"] > 0
+            assert entry["attention_speedup"] > 0
+            assert entry["gconv_ms"] > 0
+            assert entry["train_step_ms"] > 0
+        assert "24" in report["attention_speedup_vs_seed"]
+
+    def test_schema_validator_rejects_missing_keys(self, run_perf):
+        with pytest.raises(ValueError):
+            run_perf.validate_schema({"benchmark": "attention"})
+        with pytest.raises(ValueError):
+            run_perf.validate_schema(
+                {
+                    "benchmark": "attention",
+                    "schema_version": 1,
+                    "config": {},
+                    "attention_speedup_vs_seed": {},
+                    "results": [],
+                }
+            )
+
+    def test_checked_in_bench_json_is_valid(self, run_perf):
+        """The committed BENCH_attention.json must satisfy the current schema."""
+        path = REPO_ROOT / "BENCH_attention.json"
+        report = json.loads(path.read_text())
+        run_perf.validate_schema(report)
+        node_counts = {entry["num_nodes"] for entry in report["results"]}
+        assert {200, 2000} <= node_counts

@@ -1,0 +1,112 @@
+"""Regression tests for the trainer bugfixes: eval-mode restore and early stopping."""
+
+import numpy as np
+
+from repro.core import Trainer
+from repro.nn.module import Module, Parameter
+from repro.optim import SGD
+from repro.tensor import Tensor
+
+
+class _ConstantModel(Module):
+    """Predicts a constant; with a vanishing learning rate the
+    validation MAE never improves beyond the trainer's 1e-9 threshold."""
+
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.zeros(1), name="weight")
+
+    def forward(self, x):
+        return x * 0.0 + self.weight + 1.0
+
+
+def _loader(num_batches: int = 2):
+    rng = np.random.default_rng(0)
+    return [
+        (rng.normal(size=(2, 3, 4, 1)), np.full((2, 3, 4, 1), 2.0))
+        for _ in range(num_batches)
+    ]
+
+
+def _trainer(lr: float = 1e-12) -> Trainer:
+    model = _ConstantModel()
+    return Trainer(model, SGD(model.parameters(), lr=lr), scaler=None)
+
+
+class TestEvaluateModeRestore:
+    def test_evaluate_restores_eval_mode(self):
+        trainer = _trainer()
+        trainer.model.eval()
+        trainer.evaluate(_loader())
+        assert trainer.model.training is False, "evaluate() flipped an eval-mode model back to train"
+
+    def test_evaluate_restores_train_mode(self):
+        trainer = _trainer()
+        trainer.model.train()
+        trainer.evaluate(_loader())
+        assert trainer.model.training is True
+
+    def test_evaluate_restores_mode_when_a_batch_raises(self):
+        trainer = _trainer()
+        trainer.model.train()
+
+        def bad_loader():
+            yield (np.ones((2, 3, 4, 1)), np.ones((2, 3, 4, 1)))
+            raise RuntimeError("corrupt batch")
+
+        with np.testing.assert_raises(RuntimeError):
+            trainer.evaluate(bad_loader())
+        assert trainer.model.training is True
+
+    def test_evaluate_empty_loader_restores_mode(self):
+        trainer = _trainer()
+        trainer.model.eval()
+        metrics = trainer.evaluate([])
+        assert np.isnan(metrics["mae"])
+        assert trainer.model.training is False
+
+
+class TestEarlyStoppingPatience:
+    def test_stops_after_exactly_patience_bad_epochs(self):
+        """Epoch 0 improves from +inf; every later epoch is flat, so
+        training must run exactly 1 + patience epochs — the seed's off-by-one
+        (`bad_epochs > patience`) allowed one epoch more."""
+        for patience in (1, 2, 3):
+            trainer = _trainer()
+            history = trainer.fit(
+                _loader(), val_loader=_loader(), epochs=20, patience=patience
+            )
+            assert history.num_epochs == 1 + patience, f"patience={patience}"
+
+    def test_patience_zero_stops_at_first_bad_epoch(self):
+        trainer = _trainer()
+        history = trainer.fit(_loader(), val_loader=_loader(), epochs=20, patience=0)
+        assert history.num_epochs == 2  # epoch 0 improves, epoch 1 is bad -> stop
+
+    def test_improving_run_is_not_cut_short(self):
+        """An improving epoch resets the counter; patience must not trigger."""
+
+        class _ShrinkingModel(_ConstantModel):
+            def __init__(self):
+                super().__init__()
+                self._epoch = 0
+
+            def forward(self, x):
+                return x * 0.0 + self.weight + 1.0 + 10.0 / (1.0 + self._epoch)
+
+        model = _ShrinkingModel()
+        trainer = Trainer(model, SGD(model.parameters(), lr=1e-12), scaler=None)
+
+        def _bump(epoch, loss, val):
+            model._epoch += 1
+
+        history = trainer.fit(
+            _loader(), val_loader=_loader(), epochs=5, patience=1, callback=_bump
+        )
+        assert history.num_epochs == 5
+        assert history.val_maes == sorted(history.val_maes, reverse=True)
+
+    def test_no_early_stop_without_patience(self):
+        trainer = _trainer()
+        history = trainer.fit(_loader(), val_loader=_loader(), epochs=4, patience=None)
+        assert history.num_epochs == 4
