@@ -7,7 +7,9 @@ Times the three costs that dominate SAGDFN training at Table VI/VII scales
   vectorised batched-matmul path (:meth:`forward`) and the seed's per-head
   loop (:meth:`forward_looped`), at float32 and float64;
 * ``gconv`` — one :class:`FastGraphConv` forward over the slim adjacency;
-* ``train_step`` — one full SAGDFN forward + backward + optimiser step.
+* ``train_step`` — one full SAGDFN forward + backward + optimiser step;
+* ``serve`` — frozen-graph :class:`~repro.serve.ForecastService` request
+  latency (p50/p95) and throughput at batch sizes 1 / 8 / 32.
 
 Results are written as JSON (default: ``BENCH_attention.json`` at the repo
 root) so subsequent PRs have a perf trajectory to compare against::
@@ -40,10 +42,12 @@ from repro.core import SAGDFN, SAGDFNConfig, SparseSpatialMultiHeadAttention, Fa
 from repro.nn.loss import masked_mae
 from repro.nn.module import Parameter
 from repro.optim import Adam, clip_grad_norm
+from repro.serve import ForecastService
 from repro.tensor import Tensor, default_dtype
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_SIZES = (200, 2000)
+SERVE_BATCH_SIZES = (1, 8, 32)
 
 
 def _time(fn, repeats: int, warmup: int = 1) -> float:
@@ -116,6 +120,63 @@ def bench_train_step(num_nodes: int, m: int, heads: int, embedding_dim: int,
         return _time(step, repeats)
 
 
+def bench_serve(num_nodes: int, m: int, heads: int, embedding_dim: int,
+                ffn_hidden: int, hidden: int, repeats: int,
+                batch_sizes=SERVE_BATCH_SIZES, dtype: str = "float32") -> dict:
+    """Frozen-graph serving latency/throughput at several batch sizes.
+
+    Builds a SAGDFN under the float32 policy, freezes its graph into a
+    :class:`ForecastService` and times ``service.predict`` — the exact
+    per-request hot path of ``python -m repro.serve``.
+    """
+    with default_dtype(dtype):
+        rng = np.random.default_rng(0)
+        config = SAGDFNConfig(
+            num_nodes=num_nodes, history=6, horizon=6, embedding_dim=embedding_dim,
+            num_significant=min(m, num_nodes), top_k=max(1, int(min(m, num_nodes) * 0.8)),
+            hidden_size=hidden, num_heads=heads, ffn_hidden=ffn_hidden, seed=0,
+        )
+        model = SAGDFN(config)
+        model.refresh_graph(0)
+        service = ForecastService(model)
+        samples = max(5, repeats)
+
+        results = []
+        for batch_size in batch_sizes:
+            windows = rng.normal(
+                size=(batch_size, config.history, num_nodes, config.input_dim)
+            )
+            service.predict(windows)  # warm-up
+            latencies = []
+            for _ in range(samples):
+                start = time.perf_counter()
+                service.predict(windows)
+                latencies.append((time.perf_counter() - start) * 1000.0)
+            p50 = float(np.percentile(latencies, 50))
+            p95 = float(np.percentile(latencies, 95))
+            results.append(
+                {
+                    "batch_size": int(batch_size),
+                    "latency_p50_ms": p50,
+                    "latency_p95_ms": p95,
+                    "throughput_rps": batch_size / (p50 / 1000.0) if p50 > 0 else float("inf"),
+                }
+            )
+            print(
+                f"serve N={num_nodes:>6} batch={batch_size:>3}: "
+                f"p50 {p50:.2f} ms, p95 {p95:.2f} ms, "
+                f"{results[-1]['throughput_rps']:.1f} req/s",
+                flush=True,
+            )
+        return {
+            "num_nodes": int(num_nodes),
+            "dtype": dtype,
+            "frozen_graph": True,
+            "samples": int(samples),
+            "results": results,
+        }
+
+
 def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         train_step_max_n) -> dict:
     results = []
@@ -164,6 +225,13 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
                 seed_entry["attention_loop_ms"] / new_entry["attention_vectorized_ms"]
             )
 
+    # Serving hot path: frozen-graph latency/throughput on the largest
+    # benchmarked graph that still allows a full train step (the serving
+    # forward itself is the same cost at any N, scaled by the bench sizes).
+    serve_n = min(max(sizes), train_step_max_n)
+    serve = bench_serve(serve_n, min(m, serve_n), heads, embedding_dim,
+                        ffn_hidden, hidden, repeats)
+
     return {
         "benchmark": "attention",
         "schema_version": SCHEMA_VERSION,
@@ -177,6 +245,7 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
             "numpy": np.__version__,
         },
         "attention_speedup_vs_seed": headline,
+        "serve": serve,
         "results": results,
     }
 
@@ -184,7 +253,7 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
 def validate_schema(report: dict) -> None:
     """Raise ``ValueError`` if ``report`` is not a valid benchmark report."""
     for key in ("benchmark", "schema_version", "config", "results",
-                "attention_speedup_vs_seed"):
+                "attention_speedup_vs_seed", "serve"):
         if key not in report:
             raise ValueError(f"missing top-level key {key!r}")
     if not isinstance(report["results"], list) or not report["results"]:
@@ -196,6 +265,13 @@ def validate_schema(report: dict) -> None:
                 raise ValueError(f"result entry missing key {key!r}: {entry}")
         if entry["dtype"] not in {"float32", "float64"}:
             raise ValueError(f"unexpected dtype {entry['dtype']!r}")
+    serve = report["serve"]
+    if not isinstance(serve, dict) or not serve.get("results"):
+        raise ValueError("serve section must hold a non-empty results list")
+    for entry in serve["results"]:
+        for key in ("batch_size", "latency_p50_ms", "latency_p95_ms", "throughput_rps"):
+            if key not in entry:
+                raise ValueError(f"serve entry missing key {key!r}: {entry}")
 
 
 def main(argv=None) -> dict:

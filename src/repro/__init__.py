@@ -15,7 +15,12 @@ Multivariate Time Series Forecasting"*.  It contains:
   diffusion GRU, and the end-to-end SAGDFN model and trainer.
 * ``repro.baselines`` — the fifteen comparison methods of the evaluation.
 * ``repro.metrics`` / ``repro.evaluation`` / ``repro.experiments`` — the
-  benchmark harness regenerating every table and figure.
+  benchmark harness regenerating every table and figure (evaluation is
+  streaming: metric sums accumulate batch-by-batch).
+* ``repro.serve`` — the inference layer: frozen-graph
+  :class:`~repro.serve.ForecastService` rehydrated from a single checkpoint
+  bundle, with micro-batched request coalescing and a CLI
+  (``python -m repro.serve``).
 """
 
 __version__ = "1.0.0"

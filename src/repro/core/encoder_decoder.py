@@ -88,13 +88,14 @@ class SAGDFNEncoderDecoder(Module):
         hiddens: list[Tensor],
         adjacency: Tensor,
         index_set: np.ndarray | None,
+        degree_scale: Tensor | None = None,
     ) -> tuple[list[Tensor], Tensor]:
         """Push one time step through the stacked cells."""
         new_hiddens: list[Tensor] = []
         current = x
         prediction = None
         for cell, hidden in zip(cells, hiddens):
-            hidden, prediction = cell(current, hidden, adjacency, index_set)
+            hidden, prediction = cell(current, hidden, adjacency, index_set, degree_scale)
             new_hiddens.append(hidden)
             current = hidden
         return new_hiddens, prediction
@@ -105,11 +106,14 @@ class SAGDFNEncoderDecoder(Module):
         adjacency: Tensor,
         index_set: np.ndarray | None = None,
         targets: Tensor | None = None,
+        degree_scale: Tensor | None = None,
     ) -> Tensor:
         """Forecast ``horizon`` steps from ``history`` of shape ``(B, h, N, C)``.
 
         ``targets`` (shape ``(B, f, N, output_dim)``) enables teacher forcing
-        during training; evaluation never passes targets.
+        during training; evaluation never passes targets.  ``degree_scale``
+        optionally supplies the precomputed ``(D + I)^{-1}`` column used by
+        every graph convolution (frozen-graph inference).
         """
         if history.ndim != 4:
             raise ValueError(f"history must be (batch, steps, nodes, channels), got {history.shape}")
@@ -118,7 +122,8 @@ class SAGDFNEncoderDecoder(Module):
         encoder_hiddens = [cell.initial_state(batch, num_nodes) for cell in self.encoder_cells]
         for t in range(steps):
             encoder_hiddens, _ = self._run_stack(
-                self.encoder_cells, history[:, t], encoder_hiddens, adjacency, index_set
+                self.encoder_cells, history[:, t], encoder_hiddens, adjacency, index_set,
+                degree_scale,
             )
 
         decoder_hiddens = encoder_hiddens
@@ -126,7 +131,8 @@ class SAGDFNEncoderDecoder(Module):
         predictions: list[Tensor] = []
         for step in range(self.horizon):
             decoder_hiddens, prediction = self._run_stack(
-                self.decoder_cells, decoder_input, decoder_hiddens, adjacency, index_set
+                self.decoder_cells, decoder_input, decoder_hiddens, adjacency, index_set,
+                degree_scale,
             )
             predictions.append(prediction)
             use_truth = (

@@ -54,6 +54,7 @@ class FastGraphConv(Module):
         x: Tensor,
         adjacency: Tensor,
         index_set: np.ndarray | None = None,
+        degree_scale: Tensor | None = None,
     ) -> Tensor:
         """Apply the convolution to ``x`` of shape ``(..., N, input_dim)``.
 
@@ -61,12 +62,20 @@ class FastGraphConv(Module):
         matrix and the aggregation gathers only the significant neighbours
         (cost ``O(N·M)``); otherwise ``adjacency`` is a dense ``(N, N)``
         support and the aggregation is the classical ``A X`` (cost ``O(N²)``).
+
+        ``degree_scale`` optionally supplies a precomputed ``(D + I)^{-1}``
+        column of shape ``(N, 1)``; frozen-graph inference passes it so the
+        degree normalisation is not rederived from the adjacency on every
+        request.
         """
         if x.shape[-1] != self.input_dim:
             raise ValueError(f"expected last dimension {self.input_dim}, got {x.shape}")
-        # (D + I)^{-1}, differentiable so the slim adjacency also receives
-        # gradients through the degree normalisation (Eq. 9).
-        scale = 1.0 / (adjacency.sum(axis=-1, keepdims=True) + 1.0)
+        if degree_scale is not None:
+            scale = degree_scale
+        else:
+            # (D + I)^{-1}, differentiable so the slim adjacency also receives
+            # gradients through the degree normalisation (Eq. 9).
+            scale = 1.0 / (adjacency.sum(axis=-1, keepdims=True) + 1.0)
 
         current = x
         output = current.matmul(self.hop_weights[0])
@@ -122,13 +131,14 @@ class OneStepFastGConvCell(Module):
         hidden: Tensor,
         adjacency: Tensor,
         index_set: np.ndarray | None = None,
+        degree_scale: Tensor | None = None,
     ) -> tuple[Tensor, Tensor]:
         """One recurrence step; returns ``(new_hidden, prediction)``."""
         combined = concat([x, hidden], axis=-1)
-        reset = self.reset_gate(combined, adjacency, index_set).sigmoid()
-        update = self.update_gate(combined, adjacency, index_set).sigmoid()
+        reset = self.reset_gate(combined, adjacency, index_set, degree_scale).sigmoid()
+        update = self.update_gate(combined, adjacency, index_set, degree_scale).sigmoid()
         candidate_input = concat([x, reset * hidden], axis=-1)
-        candidate = self.candidate(candidate_input, adjacency, index_set).tanh()
+        candidate = self.candidate(candidate_input, adjacency, index_set, degree_scale).tanh()
         new_hidden = update * hidden + (1.0 - update) * candidate
         prediction = new_hidden.matmul(self.projection)
         return new_hidden, prediction

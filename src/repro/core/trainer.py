@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.data.loader import DataLoader
 from repro.data.scalers import StandardScaler
-from repro.nn.loss import masked_mae, masked_mape, masked_mse
+from repro.nn.loss import masked_mae
 from repro.nn.module import Module
 from repro.optim import Optimizer, clip_grad_norm
 from repro.tensor import Tensor, no_grad
@@ -124,30 +124,26 @@ class Trainer:
     def evaluate(self, loader: DataLoader) -> dict[str, float]:
         """Compute masked MAE / RMSE / MAPE over every batch of ``loader``.
 
+        Metrics are accumulated batch-by-batch with
+        :class:`~repro.evaluation.streaming.StreamingMetrics`, so evaluation
+        memory stays bounded by one batch regardless of the dataset size.
         The model's train/eval mode is restored on exit, so evaluating a
         model that was already in eval mode does not silently re-enable
         dropout/batch-norm updates for subsequent callers.
         """
+        from repro.evaluation.streaming import StreamingMetrics
+
         was_training = self.model.training
         self.model.eval()
-        predictions, targets = [], []
+        stream = StreamingMetrics(null_value=self.null_value)
         try:
             with no_grad():
                 for batch_x, batch_y in loader:
                     output = self._denormalise(self._forward(batch_x))
-                    predictions.append(output.data)
-                    targets.append(batch_y)
+                    stream.update(output.data, batch_y)
         finally:
             self.model.train(was_training)
-        if not predictions:
-            return {"mae": float("nan"), "rmse": float("nan"), "mape": float("nan")}
-        prediction = Tensor(np.concatenate(predictions, axis=0))
-        target = Tensor(np.concatenate(targets, axis=0))
-        return {
-            "mae": float(masked_mae(prediction, target, null_value=self.null_value).data),
-            "rmse": float(np.sqrt(masked_mse(prediction, target, null_value=self.null_value).data)),
-            "mape": float(masked_mape(prediction, target, null_value=self.null_value).data),
-        }
+        return stream.compute()
 
     def fit(
         self,

@@ -49,5 +49,4 @@ class DataLoader:
             indices = order[start : start + self.batch_size]
             if self.drop_last and len(indices) < self.batch_size:
                 break
-            xs, ys = zip(*(self.dataset[int(i)] for i in indices))
-            yield np.stack(xs), np.stack(ys)
+            yield self.dataset.batch(indices)

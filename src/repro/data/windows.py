@@ -64,7 +64,31 @@ class SlidingWindowDataset:
         y = self.target_series.values[mid:end, :, :1]
         return x, y
 
+    def batch(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Gather many samples at once with a single fancy-index per array.
+
+        Equivalent to stacking ``self[i]`` for each ``i`` in ``indices`` but
+        without the per-sample Python loop: the ``(B, history)`` and
+        ``(B, horizon)`` step-index grids are built once and applied to the
+        underlying ``(T, N, C)`` value arrays directly, returning
+        ``x`` of shape ``(B, history, N, C)`` and ``y`` of ``(B, horizon, N, 1)``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValueError(f"indices must be one-dimensional, got shape {indices.shape}")
+        if indices.size and (indices.min() < 0 or indices.max() >= len(self)):
+            raise IndexError(
+                f"sample indices out of range [0, {len(self)}): "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        x_steps = indices[:, None] + np.arange(self.history)[None, :]
+        y_steps = indices[:, None] + self.history + np.arange(self.horizon)[None, :]
+        x = self.series.values[x_steps]
+        # Slice the target channel first (a view), so the fancy-index gather
+        # copies only the one channel that ends up in ``y``.
+        y = self.target_series.values[:, :, :1][y_steps]
+        return x, y
+
     def arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """Materialise every sample as two stacked arrays ``(num_samples, …)``."""
-        xs, ys = zip(*(self[i] for i in range(len(self))))
-        return np.stack(xs), np.stack(ys)
+        return self.batch(np.arange(len(self)))

@@ -14,11 +14,13 @@ from repro.evaluation.memory import (
 )
 from repro.evaluation.cost import CostReport, measure_cost
 from repro.evaluation.results import ResultTable
+from repro.evaluation.streaming import StreamingMetrics
 
 __all__ = [
     "evaluate_neural",
     "evaluate_classical",
     "collect_predictions",
+    "StreamingMetrics",
     "estimate_training_memory_gb",
     "would_oom",
     "max_trainable_nodes",

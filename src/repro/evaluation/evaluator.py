@@ -8,9 +8,34 @@ from repro.baselines.base import ClassicalForecaster
 from repro.baselines.historical_average import HistoricalAverage
 from repro.data.loader import DataLoader
 from repro.data.scalers import StandardScaler
+from repro.evaluation.streaming import StreamingMetrics
 from repro.metrics import HorizonMetrics, horizon_metrics
 from repro.nn.module import Module
 from repro.tensor import Tensor, no_grad
+
+
+def iter_predictions(
+    model: Module,
+    loader: DataLoader,
+    scaler: StandardScaler | None = None,
+):
+    """Yield ``(prediction, target)`` arrays per batch of ``loader``.
+
+    Handles the shared evaluation plumbing once: eval mode (restored on
+    exit), ``no_grad``, and inverse-transforming predictions into original
+    units.  Both the streaming and the concatenating consumers build on it.
+    """
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for batch_x, batch_y in loader:
+                output = model(Tensor(batch_x)).data
+                if scaler is not None:
+                    output = scaler.inverse_transform(output)
+                yield output, batch_y
+    finally:
+        model.train(was_training)
 
 
 def collect_predictions(
@@ -21,18 +46,14 @@ def collect_predictions(
     """Run ``model`` over every batch of ``loader`` and stack predictions/targets.
 
     Predictions are inverse-transformed with ``scaler`` so both arrays are in
-    original units, shaped ``(samples, horizon, N, 1)``.
+    original units, shaped ``(samples, horizon, N, 1)``.  Memory is linear in
+    the dataset — prefer :func:`evaluate_neural` (streaming) when only the
+    metrics are needed.
     """
-    model.eval()
     predictions, targets = [], []
-    with no_grad():
-        for batch_x, batch_y in loader:
-            output = model(Tensor(batch_x)).data
-            if scaler is not None:
-                output = scaler.inverse_transform(output)
-            predictions.append(output)
-            targets.append(batch_y)
-    model.train()
+    for output, batch_y in iter_predictions(model, loader, scaler):
+        predictions.append(output)
+        targets.append(batch_y)
     return np.concatenate(predictions, axis=0), np.concatenate(targets, axis=0)
 
 
@@ -43,9 +64,15 @@ def evaluate_neural(
     horizons: tuple[int, ...] = (3, 6, 12),
     null_value: float | None = 0.0,
 ) -> list[HorizonMetrics]:
-    """Per-horizon metrics of a trained neural forecaster on ``loader``."""
-    predictions, targets = collect_predictions(model, loader, scaler)
-    return horizon_metrics(predictions, targets, horizons=horizons, null_value=null_value)
+    """Per-horizon metrics of a trained neural forecaster on ``loader``.
+
+    Metrics are accumulated batch-by-batch (streaming), so evaluation memory
+    is bounded by one batch no matter how long the loader is.
+    """
+    stream = StreamingMetrics(null_value=null_value)
+    for output, batch_y in iter_predictions(model, loader, scaler):
+        stream.update(output, batch_y)
+    return stream.horizon_metrics(horizons)
 
 
 def evaluate_classical(

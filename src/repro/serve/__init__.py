@@ -1,0 +1,22 @@
+"""Inference serving layer: frozen-graph forecasting at request time.
+
+SAGDFN freezes its significant-neighbour index set after convergence
+iteration ``r`` (Algorithm 2), which means a *trained* model's graph
+artefacts — the slim adjacency ``A_s``, the index set ``I`` and the degree
+normalisation ``(D + I)^{-1}`` — are constants at serving time.  This
+package exploits that:
+
+* :class:`ForecastService` rehydrates a forecaster from a single checkpoint
+  bundle (:func:`repro.utils.checkpoint.save_bundle`), runs SNS + sparse
+  attention **once** at load time, and answers forecast requests with only
+  the encoder–decoder forward under ``no_grad``.
+* :class:`MicroBatcher` coalesces concurrent requests (up to
+  ``max_batch`` / ``max_wait_ms``) into one batched forward, trading a few
+  milliseconds of queueing delay for much higher throughput.
+* ``python -m repro.serve`` is the command-line entry point.
+"""
+
+from repro.serve.batching import BatchStats, MicroBatcher
+from repro.serve.service import ForecastService, FrozenGraph
+
+__all__ = ["ForecastService", "FrozenGraph", "MicroBatcher", "BatchStats"]

@@ -1,0 +1,100 @@
+"""Command-line forecast server: ``python -m repro.serve``.
+
+Loads a serving bundle, answers a batch of forecast requests through the
+micro-batching queue and reports latency/throughput, e.g.::
+
+    # serve requests stored as a (R, h, N, C) .npy array
+    python -m repro.serve checkpoints/sagdfn_bundle.npz \\
+        --input requests.npy --output predictions.npy
+
+    # synthetic smoke run straight from the bundle's own config
+    python -m repro.serve checkpoints/sagdfn_bundle.npz --requests 32 --max-batch 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.service import ForecastService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve forecast requests from a SAGDFN checkpoint bundle.",
+    )
+    parser.add_argument("checkpoint", type=Path, help="serving bundle written by save_bundle")
+    parser.add_argument("--input", type=Path, default=None,
+                        help=".npy file of request windows, shape (R, h, N, C) or (h, N, C)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write predictions (R, f, N, 1) to this .npy file")
+    parser.add_argument("--requests", type=int, default=16,
+                        help="number of synthetic requests when --input is omitted")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="micro-batching: largest coalesced batch")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="micro-batching: wait for stragglers after the first request")
+    parser.add_argument("--no-freeze", action="store_true",
+                        help="re-derive the graph on every request (debugging only)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed of the synthetic request generator")
+    return parser
+
+
+def _load_windows(args, service: ForecastService) -> np.ndarray:
+    if args.input is not None:
+        windows = np.load(args.input)
+        if windows.ndim == 3:
+            windows = windows[None]
+        if windows.ndim != 4:
+            raise SystemExit(
+                f"--input must hold (R, h, N, C) or (h, N, C) windows, got {windows.shape}"
+            )
+        return windows
+    config = service.config
+    if not config:
+        raise SystemExit("bundle has no model config; synthetic requests need --input")
+    shape = (args.requests, config["history"], config["num_nodes"], config["input_dim"])
+    return np.random.default_rng(args.seed).normal(size=shape)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.requests < 1:
+        raise SystemExit("--requests must be >= 1")
+
+    load_start = time.perf_counter()
+    service = ForecastService.from_checkpoint(args.checkpoint, freeze_graph=not args.no_freeze)
+    load_ms = (time.perf_counter() - load_start) * 1000.0
+    mode = "frozen-graph" if service.frozen is not None else "full-forward"
+    print(f"loaded {args.checkpoint} in {load_ms:.1f} ms ({mode} mode)")
+
+    windows = _load_windows(args, service)
+    serve_start = time.perf_counter()
+    with MicroBatcher(service.predict, max_batch=args.max_batch,
+                      max_wait_ms=args.max_wait_ms) as batcher:
+        futures = [batcher.submit(window) for window in windows]
+        predictions = np.stack([future.result() for future in futures])
+    elapsed = time.perf_counter() - serve_start
+    stats = batcher.stats
+
+    throughput = len(windows) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"served {len(windows)} requests in {elapsed * 1000.0:.1f} ms "
+        f"({throughput:.1f} req/s) over {stats.num_batches} batches "
+        f"(mean batch {stats.mean_batch_size:.1f}, max {stats.max_batch_size})"
+    )
+    if args.output is not None:
+        np.save(args.output, predictions)
+        print(f"wrote predictions {predictions.shape} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

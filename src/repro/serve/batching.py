@@ -1,0 +1,167 @@
+"""Micro-batching request queue for the forecast service.
+
+Concurrent clients each submit a single history window; a background worker
+drains the queue, coalescing up to ``max_batch`` requests (waiting at most
+``max_wait_ms`` for stragglers after the first request arrives) and runs
+**one** batched forward for the whole group.  Batched inference amortises
+the per-call graph-convolution overhead, so throughput grows with batch
+size while each request pays at most ``max_wait_ms`` of queueing delay.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class BatchStats:
+    """Running counters of the batching worker (O(1) memory, server-lifetime safe)."""
+
+    num_requests: int = 0
+    num_batches: int = 0
+    max_batch_size: int = 0
+
+    def record(self, batch_size: int) -> None:
+        self.num_requests += batch_size
+        self.num_batches += 1
+        if batch_size > self.max_batch_size:
+            self.max_batch_size = batch_size
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.num_requests / self.num_batches if self.num_batches else 0.0
+
+
+class MicroBatcher:
+    """Coalesce single-window forecast requests into batched forwards.
+
+    Parameters
+    ----------
+    predict_fn:
+        Batched inference function mapping ``(B, h, N, C)`` histories to
+        ``(B, f, N, 1)`` predictions — typically
+        :meth:`repro.serve.ForecastService.predict`.
+    max_batch:
+        Largest batch one forward may serve.
+    max_wait_ms:
+        How long the worker waits for additional requests after the first
+        one of a batch arrives.  ``0`` disables coalescing delay (batches
+        only form from already-queued requests).
+
+    Use as a context manager, or call :meth:`close` to drain and stop::
+
+        with MicroBatcher(service.predict, max_batch=32, max_wait_ms=2) as mb:
+            futures = [mb.submit(w) for w in windows]
+            results = [f.result() for f in futures]
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[[np.ndarray], np.ndarray],
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.predict_fn = predict_fn
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.stats = BatchStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._worker = threading.Thread(target=self._run, name="microbatcher", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def submit(self, window: np.ndarray) -> Future:
+        """Enqueue one history window ``(h, N, C)``; resolves to ``(f, N, 1)``."""
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed MicroBatcher")
+        future: Future = Future()
+        self._queue.put((np.asarray(window), future))
+        return future
+
+    def predict(self, window: np.ndarray, timeout: float | None = None) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(window).result(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop accepting requests, drain the queue and join the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Worker side
+    # ------------------------------------------------------------------ #
+    def _collect(self, first) -> tuple[list, bool]:
+        """Grow a batch from ``first`` until full, timed out, or shut down."""
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _run(self) -> None:
+        shutdown = False
+        while not shutdown:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            batch, shutdown = self._collect(item)
+            futures = [future for _, future in batch]
+            try:
+                windows = np.stack([window for window, _ in batch])
+                predictions = self.predict_fn(windows)
+            except Exception as error:  # propagate to every waiting client
+                for future in futures:
+                    future.set_exception(error)
+                continue
+            for i, future in enumerate(futures):
+                future.set_result(predictions[i])
+            self.stats.record(len(batch))
+        # Drain anything still queued after shutdown so no client hangs.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                continue
+            window, future = item
+            try:
+                future.set_result(self.predict_fn(window[None])[0])
+                self.stats.record(1)
+            except Exception as error:
+                future.set_exception(error)

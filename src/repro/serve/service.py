@@ -1,0 +1,226 @@
+"""The :class:`ForecastService`: checkpoint-to-prediction serving runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.scalers import StandardScaler
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad
+from repro.utils.checkpoint import CheckpointBundle, load_bundle
+
+
+@dataclass
+class FrozenGraph:
+    """Graph artefacts cached once at service start-up.
+
+    Attributes
+    ----------
+    adjacency:
+        The slim ``(N, M)`` adjacency ``A_s`` (or a dense ``(N, N)`` support
+        for predefined-graph models), as produced by SNS + sparse attention.
+    index_set:
+        The frozen significant-neighbour indices ``I`` (``None`` for dense
+        supports).
+    degree_scale:
+        The ``(N, 1)`` degree normalisation ``(D + I)^{-1}`` of Eq. 9.
+    """
+
+    adjacency: np.ndarray
+    index_set: np.ndarray | None
+    degree_scale: np.ndarray
+
+    @classmethod
+    def from_model(cls, model: Module) -> "FrozenGraph":
+        """Run SNS + attention once on ``model`` and capture the artefacts."""
+        with no_grad():
+            adjacency = model.slim_adjacency().data
+        index_set = None
+        if not getattr(getattr(model, "config", None), "use_predefined_graph", False):
+            index_set = np.asarray(model.index_set, dtype=np.int64)
+        degree_scale = 1.0 / (adjacency.sum(axis=-1, keepdims=True) + 1.0)
+        return cls(
+            adjacency=adjacency,
+            index_set=index_set,
+            degree_scale=degree_scale.astype(adjacency.dtype, copy=False),
+        )
+
+
+class ForecastService:
+    """Serve forecast requests from a trained model at high throughput.
+
+    In **frozen-graph mode** (the default, and the regime a converged SAGDFN
+    is in anyway) the slim adjacency, index set and degree scales are
+    computed once in ``__init__`` and every :meth:`predict` call runs only
+    the encoder–decoder forward under ``no_grad`` — no re-sampling, no
+    attention, no gradient tape.
+
+    Parameters
+    ----------
+    model:
+        A trained forecaster.  Models exposing ``slim_adjacency()`` /
+        ``index_set`` / ``forecaster`` (SAGDFN) get the frozen fast path;
+        any other :class:`Module` is served through its plain ``forward``.
+    scaler:
+        The fitted target scaler; predictions are returned in original
+        units (``prediction * std + mean``), matching ``Trainer.evaluate``.
+    freeze_graph:
+        Set ``False`` to re-derive the graph on every request (slower;
+        only useful for debugging parity with the training-time forward).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        scaler: StandardScaler | None = None,
+        freeze_graph: bool = True,
+        config: dict | None = None,
+    ):
+        self.model = model
+        self.scaler = scaler
+        self.config = config if config is not None else self._config_dict(model)
+        model.eval()
+        parameters = model.parameters()
+        self._dtype = parameters[0].dtype if parameters else np.dtype(np.float64)
+
+        self.frozen: FrozenGraph | None = None
+        self._adjacency_tensor: Tensor | None = None
+        self._degree_scale_tensor: Tensor | None = None
+        if freeze_graph and self._supports_frozen_graph(model):
+            if getattr(model, "index_set", None) is None and hasattr(model, "refresh_graph"):
+                # No converged index set came with the model/bundle.  Sample
+                # one as if training had converged (explore=False) so the
+                # frozen graph is at least deterministic, and say so loudly.
+                from repro.utils.logging import get_logger
+
+                get_logger("repro.serve").warning(
+                    "model has no frozen significant-neighbour index set; "
+                    "sampling one at load time — serve a converged checkpoint "
+                    "for the paper's frozen-graph regime"
+                )
+                convergence = getattr(
+                    getattr(model, "config", None), "convergence_iteration", 0
+                )
+                model.refresh_graph(iteration=convergence)
+            self.frozen = FrozenGraph.from_model(model)
+            self._adjacency_tensor = Tensor(self.frozen.adjacency, dtype=self._dtype)
+            self._degree_scale_tensor = Tensor(self.frozen.degree_scale, dtype=self._dtype)
+        self.num_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _supports_frozen_graph(model: Module) -> bool:
+        return hasattr(model, "slim_adjacency") and hasattr(model, "forecaster")
+
+    @staticmethod
+    def _config_dict(model: Module) -> dict:
+        config = getattr(model, "config", None)
+        if config is None:
+            return {}
+        from dataclasses import asdict, is_dataclass
+
+        return asdict(config) if is_dataclass(config) else dict(vars(config))
+
+    @classmethod
+    def from_checkpoint(
+        cls, path: str | Path, freeze_graph: bool = True
+    ) -> "ForecastService":
+        """Rehydrate a service from a serving bundle written by ``save_bundle``.
+
+        The bundle alone is enough: model config, parameters, scaler
+        statistics and the SNS sampler state all come out of the archive.
+        """
+        bundle = load_bundle(path)
+        model = cls._build_model(bundle)
+        scaler = cls._build_scaler(bundle)
+        return cls(model, scaler=scaler, freeze_graph=freeze_graph, config=bundle.config)
+
+    @staticmethod
+    def _build_model(bundle: CheckpointBundle) -> Module:
+        if bundle.model_type != "SAGDFN":
+            raise ValueError(
+                f"cannot rehydrate model type {bundle.model_type!r}; "
+                "only SAGDFN bundles are currently servable"
+            )
+        if not bundle.config:
+            raise ValueError("bundle is missing the model config")
+        from repro.core import SAGDFN, SAGDFNConfig
+
+        model = SAGDFN(SAGDFNConfig(**bundle.config))
+        model.to(np.dtype(bundle.dtype))
+        if bundle.sampler_candidates is not None:
+            model.sampler.candidates = np.asarray(bundle.sampler_candidates, dtype=np.int64)
+        if bundle.index_set is not None:
+            model._index_set = np.asarray(bundle.index_set, dtype=np.int64)
+        model.load_state_dict(bundle.state)
+        return model
+
+    @staticmethod
+    def _build_scaler(bundle: CheckpointBundle) -> StandardScaler | None:
+        state = bundle.scaler_state
+        if state is None:
+            return None
+        if state.get("type") != "StandardScaler":
+            raise ValueError(f"unsupported scaler type {state.get('type')!r} in bundle")
+        scaler = StandardScaler()
+        scaler.mean_ = float(state["mean"])
+        scaler.std_ = float(state["std"])
+        return scaler
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def _forward(self, history: Tensor) -> Tensor:
+        if self.frozen is not None:
+            return self.model.forecaster(
+                history,
+                self._adjacency_tensor,
+                self.frozen.index_set,
+                degree_scale=self._degree_scale_tensor,
+            )
+        return self.model(history)
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        """Forecast a batch of normalised histories ``(B, h, N, C)``.
+
+        Returns predictions of shape ``(B, f, N, 1)`` in original units
+        (inverse-transformed with the bundled scaler), numerically identical
+        to the ``Trainer.evaluate`` forward path on the same model.
+        """
+        history = np.asarray(history)
+        if history.ndim != 4:
+            raise ValueError(
+                f"history must be (batch, steps, nodes, channels), got shape {history.shape}"
+            )
+        with no_grad():
+            output = self._forward(Tensor(history, dtype=self._dtype))
+            if self.scaler is not None:
+                output = output * self.scaler.std_ + self.scaler.mean_
+        self.num_requests += history.shape[0]
+        return output.data
+
+    def predict_one(self, window: np.ndarray) -> np.ndarray:
+        """Forecast a single history window ``(h, N, C)`` → ``(f, N, 1)``."""
+        window = np.asarray(window)
+        if window.ndim != 3:
+            raise ValueError(f"window must be (steps, nodes, channels), got {window.shape}")
+        return self.predict(window[None])[0]
+
+    def evaluate(self, loader, null_value: float | None = 0.0) -> dict[str, float]:
+        """Streaming masked metrics of the served model over ``loader``.
+
+        Uses the same :class:`~repro.evaluation.streaming.StreamingMetrics`
+        accumulator as ``Trainer.evaluate``, but through the frozen-graph
+        forward — memory stays bounded by one batch.
+        """
+        from repro.evaluation.streaming import StreamingMetrics
+
+        stream = StreamingMetrics(null_value=null_value)
+        for batch_x, batch_y in loader:
+            stream.update(self.predict(batch_x), batch_y)
+        return stream.compute()

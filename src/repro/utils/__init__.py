@@ -3,7 +3,13 @@
 from repro.utils.seed import seed_everything, spawn_rng
 from repro.utils.timer import Timer
 from repro.utils.logging import get_logger
-from repro.utils.checkpoint import load_checkpoint, save_checkpoint
+from repro.utils.checkpoint import (
+    CheckpointBundle,
+    load_bundle,
+    load_checkpoint,
+    save_bundle,
+    save_checkpoint,
+)
 
 __all__ = [
     "seed_everything",
@@ -12,4 +18,7 @@ __all__ = [
     "get_logger",
     "save_checkpoint",
     "load_checkpoint",
+    "save_bundle",
+    "load_bundle",
+    "CheckpointBundle",
 ]

@@ -1,13 +1,50 @@
-"""Model checkpointing: save/load a Module's parameters as a ``.npz`` archive."""
+"""Model checkpointing: parameter archives and self-contained serving bundles.
+
+Two formats share the same ``.npz`` container:
+
+* **Parameter checkpoint** (:func:`save_checkpoint` / :func:`load_checkpoint`)
+  — just the dotted parameter names plus a JSON metadata blob.  Loading
+  requires an already-built model of the same architecture.
+* **Serving bundle** (:func:`save_bundle` / :func:`load_bundle`) — a
+  parameter checkpoint extended with everything needed to *rehydrate* a
+  forecaster from the file alone: the model config, the fitted
+  :class:`~repro.data.scalers.StandardScaler` statistics, and (for SAGDFN)
+  the significant-neighbour sampler candidates and frozen index set.
+  :meth:`repro.serve.ForecastService.from_checkpoint` consumes this format.
+
+Reserved keys are wrapped in double underscores (``__metadata__``,
+``__bundle__``, …) so they can never collide with parameter names;
+:func:`load_checkpoint` skips them, which lets a plain model load the
+parameters out of a bundle archive.
+"""
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.nn.module import Module
+
+BUNDLE_VERSION = 1
+
+_METADATA_KEY = "__metadata__"
+_BUNDLE_KEY = "__bundle__"
+_CANDIDATES_KEY = "__sampler_candidates__"
+_INDEX_SET_KEY = "__index_set__"
+
+
+def _is_reserved(key: str) -> bool:
+    return key.startswith("__") and key.endswith("__")
+
+
+def _normalise_path(path: str | Path) -> Path:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    return path
 
 
 def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = None) -> Path:
@@ -17,11 +54,9 @@ def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = Non
     parameter names from :meth:`Module.named_parameters`, with the metadata
     stored under the reserved ``__metadata__`` key.
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
+    path = _normalise_path(path)
     payload = {name: parameter.data for name, parameter in model.named_parameters()}
-    payload["__metadata__"] = np.array(json.dumps(metadata or {}))
+    payload[_METADATA_KEY] = np.array(json.dumps(metadata or {}))
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **payload)
     return path
@@ -30,12 +65,152 @@ def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = Non
 def load_checkpoint(model: Module, path: str | Path) -> dict:
     """Load parameters saved by :func:`save_checkpoint` into ``model``.
 
-    Returns the metadata dictionary stored alongside the parameters.  Raises
+    Reserved ``__…__`` keys (metadata, bundle extras) are ignored, so both
+    plain checkpoints and serving bundles can be loaded this way.  Returns
+    the metadata dictionary stored alongside the parameters.  Raises
     ``KeyError`` / ``ValueError`` when the archive does not match the model.
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
-        metadata = json.loads(str(archive["__metadata__"]))
-        state = {name: archive[name] for name in archive.files if name != "__metadata__"}
+        metadata = json.loads(str(archive[_METADATA_KEY]))
+        state = {name: archive[name] for name in archive.files if not _is_reserved(name)}
     model.load_state_dict(state)
     return metadata
+
+
+# --------------------------------------------------------------------- #
+# Serving bundles
+# --------------------------------------------------------------------- #
+@dataclass
+class CheckpointBundle:
+    """Everything :func:`load_bundle` recovers from a serving bundle archive.
+
+    Attributes
+    ----------
+    state:
+        Parameter arrays keyed by dotted name (ready for
+        :meth:`Module.load_state_dict`).
+    config:
+        The model configuration dictionary (``SAGDFNConfig`` fields).
+    model_type:
+        Class name of the saved forecaster (``"SAGDFN"``).
+    dtype:
+        The floating dtype the parameters were saved under.
+    scaler_state:
+        ``{"type", "mean", "std"}`` of the fitted target scaler, or ``None``.
+    sampler_candidates:
+        SNS candidate-neighbour matrix ``C`` of shape ``(N, M)``, or ``None``.
+    index_set:
+        Frozen significant-neighbour index set ``I``, or ``None``.
+    metadata:
+        Free-form user metadata.
+    version:
+        Bundle format version.
+    """
+
+    state: dict[str, np.ndarray]
+    config: dict
+    model_type: str
+    dtype: str
+    scaler_state: dict | None = None
+    sampler_candidates: np.ndarray | None = None
+    index_set: np.ndarray | None = None
+    metadata: dict = field(default_factory=dict)
+    version: int = BUNDLE_VERSION
+
+
+def save_bundle(
+    model: Module,
+    path: str | Path,
+    scaler=None,
+    metadata: dict | None = None,
+) -> Path:
+    """Write a self-contained serving bundle for ``model`` to ``path``.
+
+    Alongside the parameters, the bundle records the model config (for
+    SAGDFN: the :class:`~repro.core.config.SAGDFNConfig` dataclass fields),
+    the fitted ``scaler`` statistics, and — when present on the model — the
+    SNS sampler candidates and current index set, so that
+    :func:`load_bundle` / ``ForecastService.from_checkpoint`` can rebuild
+    the forecaster without any other artefact.
+    """
+    path = _normalise_path(path)
+    payload = {name: parameter.data for name, parameter in model.named_parameters()}
+    parameters = list(payload.values())
+    dtype = str(parameters[0].dtype) if parameters else "float64"
+
+    config = getattr(model, "config", None)
+    config_dict = None
+    if config is not None:
+        from dataclasses import asdict, is_dataclass
+
+        config_dict = asdict(config) if is_dataclass(config) else dict(vars(config))
+
+    scaler_state = None
+    if scaler is not None:
+        if getattr(scaler, "mean_", None) is None or getattr(scaler, "std_", None) is None:
+            raise ValueError("scaler must be fit before it can be bundled")
+        scaler_state = {
+            "type": type(scaler).__name__,
+            "mean": float(scaler.mean_),
+            "std": float(scaler.std_),
+        }
+
+    bundle_info = {
+        "version": BUNDLE_VERSION,
+        "model_type": type(model).__name__,
+        "dtype": dtype,
+        "config": config_dict,
+        "scaler": scaler_state,
+    }
+    payload[_BUNDLE_KEY] = np.array(json.dumps(bundle_info))
+    payload[_METADATA_KEY] = np.array(json.dumps(metadata or {}))
+
+    sampler = getattr(model, "sampler", None)
+    if sampler is not None and getattr(sampler, "candidates", None) is not None:
+        payload[_CANDIDATES_KEY] = np.asarray(sampler.candidates, dtype=np.int64)
+    index_set = getattr(model, "index_set", None)
+    if index_set is not None:
+        payload[_INDEX_SET_KEY] = np.asarray(index_set, dtype=np.int64)
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+    return path
+
+
+def load_bundle(path: str | Path) -> CheckpointBundle:
+    """Read a serving bundle written by :func:`save_bundle`.
+
+    Raises ``ValueError`` when ``path`` is a plain parameter checkpoint (or
+    any other archive without the ``__bundle__`` record) or when the bundle
+    version is newer than this code understands.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if _BUNDLE_KEY not in archive.files:
+            raise ValueError(
+                f"{path} is not a serving bundle (missing {_BUNDLE_KEY!r}); "
+                "use load_checkpoint for plain parameter checkpoints"
+            )
+        info = json.loads(str(archive[_BUNDLE_KEY]))
+        metadata = json.loads(str(archive[_METADATA_KEY])) if _METADATA_KEY in archive.files else {}
+        state = {name: archive[name] for name in archive.files if not _is_reserved(name)}
+        candidates = archive[_CANDIDATES_KEY] if _CANDIDATES_KEY in archive.files else None
+        index_set = archive[_INDEX_SET_KEY] if _INDEX_SET_KEY in archive.files else None
+
+    version = int(info.get("version", 0))
+    if version > BUNDLE_VERSION:
+        raise ValueError(
+            f"bundle version {version} is newer than the supported {BUNDLE_VERSION}"
+        )
+    return CheckpointBundle(
+        state=state,
+        config=info.get("config") or {},
+        model_type=str(info.get("model_type", "")),
+        dtype=str(info.get("dtype", "float64")),
+        scaler_state=info.get("scaler"),
+        sampler_candidates=candidates,
+        index_set=index_set,
+        metadata=metadata,
+        version=version,
+    )

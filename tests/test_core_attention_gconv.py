@@ -165,3 +165,58 @@ class TestOneStepFastGConvCell:
         prediction.sum().backward()
         for name, parameter in cell.named_parameters():
             assert parameter.grad is not None, name
+
+
+class TestNumericalGradients:
+    """Finite-difference verification of the gconv/recurrent core.
+
+    ``check_gradients`` perturbs every element of every ``requires_grad``
+    input, so the shapes here are deliberately tiny.  The convolution
+    parameters are passed as extra inputs: the closures ignore them
+    positionally, but perturbing their ``data`` in place changes the layer
+    output, so their analytic gradients are verified too.
+    """
+
+    def test_fast_graph_conv_slim_path(self, rng):
+        conv = FastGraphConv(input_dim=2, output_dim=2, diffusion_steps=3, seed=0)
+        index_set = np.array([0, 2, 4])
+        x = Tensor(rng.normal(size=(2, 5, 2)), requires_grad=True)
+        adjacency = Tensor(rng.random((5, 3)) + 0.1, requires_grad=True)
+        assert check_gradients(
+            lambda x_, a_, *params: conv(x_, a_, index_set),
+            [x, adjacency, *conv.parameters()],
+        )
+
+    def test_fast_graph_conv_dense_path(self, rng):
+        conv = FastGraphConv(input_dim=2, output_dim=2, diffusion_steps=2, seed=1)
+        x = Tensor(rng.normal(size=(1, 4, 2)), requires_grad=True)
+        adjacency = Tensor(rng.random((4, 4)) + 0.1, requires_grad=True)
+        assert check_gradients(
+            lambda x_, a_, *params: conv(x_, a_),
+            [x, adjacency, *conv.parameters()],
+        )
+
+    def test_fast_graph_conv_precomputed_degree_scale_matches_default(self, rng):
+        conv = FastGraphConv(input_dim=3, output_dim=2, diffusion_steps=2, seed=2)
+        index_set = np.array([1, 3])
+        x = Tensor(rng.normal(size=(2, 6, 3)))
+        adjacency = Tensor(rng.random((6, 2)))
+        scale = Tensor(1.0 / (adjacency.data.sum(axis=-1, keepdims=True) + 1.0))
+        default = conv(x, adjacency, index_set)
+        frozen = conv(x, adjacency, index_set, degree_scale=scale)
+        assert np.allclose(default.data, frozen.data)
+
+    def test_one_step_cell_gradients(self, rng):
+        cell = OneStepFastGConvCell(input_dim=2, hidden_dim=2, diffusion_steps=2, seed=3)
+        index_set = np.array([0, 3])
+        x = Tensor(rng.normal(size=(1, 4, 2)), requires_grad=True)
+        hidden = Tensor(rng.normal(size=(1, 4, 2)), requires_grad=True)
+        adjacency = Tensor(rng.random((4, 2)) + 0.1, requires_grad=True)
+
+        def both_outputs(x_, h_, a_, *params):
+            new_hidden, prediction = cell(x_, h_, a_, index_set)
+            return new_hidden.sum() + prediction.sum()
+
+        assert check_gradients(
+            both_outputs, [x, hidden, adjacency, *cell.parameters()]
+        )

@@ -148,6 +148,36 @@ class TestSlidingWindows:
         assert xs.shape == (len(dataset), 4, 5, 1)
         assert ys.shape == (len(dataset), 2, 5, 1)
 
+    def test_batch_matches_per_item_gather_exactly(self, series, rng):
+        dataset = SlidingWindowDataset(series, history=7, horizon=3)
+        indices = rng.permutation(len(dataset))[:25]
+        x_batch, y_batch = dataset.batch(indices)
+        x_items, y_items = zip(*(dataset[int(i)] for i in indices))
+        assert np.array_equal(x_batch, np.stack(x_items))
+        assert np.array_equal(y_batch, np.stack(y_items))
+
+    def test_batch_with_separate_target_series(self, series):
+        scaled = MultivariateTimeSeries(series.values * 2.0, step_minutes=5)
+        dataset = SlidingWindowDataset(scaled, history=4, horizon=2, target_series=series)
+        x, y = dataset.batch(np.array([0, 3, 9]))
+        assert np.array_equal(x, np.stack([dataset[i][0] for i in (0, 3, 9)]))
+        assert np.array_equal(y, np.stack([dataset[i][1] for i in (0, 3, 9)]))
+
+    def test_batch_rejects_bad_indices(self, series):
+        dataset = SlidingWindowDataset(series, history=4, horizon=2)
+        with pytest.raises(IndexError):
+            dataset.batch(np.array([0, len(dataset)]))
+        with pytest.raises(IndexError):
+            dataset.batch(np.array([-1]))
+        with pytest.raises(ValueError):
+            dataset.batch(np.array([[0, 1]]))
+
+    def test_batch_empty_indices(self, series):
+        dataset = SlidingWindowDataset(series, history=4, horizon=2)
+        x, y = dataset.batch(np.array([], dtype=np.int64))
+        assert x.shape == (0, 4, 5, 1)
+        assert y.shape == (0, 2, 5, 1)
+
 
 class TestDataLoader:
     def test_batch_shapes_and_count(self, series):
@@ -184,6 +214,19 @@ class TestDataLoader:
         dataset = SlidingWindowDataset(series, history=6, horizon=3)
         with pytest.raises(ValueError):
             DataLoader(dataset, batch_size=0)
+
+    def test_loader_batches_match_per_item_path(self, series):
+        dataset = SlidingWindowDataset(series, history=6, horizon=3)
+        for shuffle in (False, True):
+            for x, y in DataLoader(dataset, batch_size=13, shuffle=shuffle, seed=3):
+                # recover each sample from the dataset and compare exactly
+                for row in range(x.shape[0]):
+                    matches = [
+                        i for i in range(len(dataset))
+                        if np.array_equal(dataset[i][0], x[row])
+                        and np.array_equal(dataset[i][1], y[row])
+                    ]
+                    assert matches, "loader produced a batch row not found in the dataset"
 
 
 class TestSplits:

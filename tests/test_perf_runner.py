@@ -61,6 +61,17 @@ class TestPerfRunner:
             assert entry["train_step_ms"] > 0
         assert "24" in report["attention_speedup_vs_seed"]
 
+    def test_serve_section_present_and_sane(self, tiny_report):
+        report, _ = tiny_report
+        serve = report["serve"]
+        assert serve["frozen_graph"] is True
+        batch_sizes = [entry["batch_size"] for entry in serve["results"]]
+        assert batch_sizes == [1, 8, 32]
+        for entry in serve["results"]:
+            assert entry["latency_p50_ms"] > 0
+            assert entry["latency_p95_ms"] >= entry["latency_p50_ms"]
+            assert entry["throughput_rps"] > 0
+
     def test_schema_validator_rejects_missing_keys(self, run_perf):
         with pytest.raises(ValueError):
             run_perf.validate_schema({"benchmark": "attention"})
@@ -72,6 +83,18 @@ class TestPerfRunner:
                     "config": {},
                     "attention_speedup_vs_seed": {},
                     "results": [],
+                }
+            )
+        with pytest.raises(ValueError):
+            run_perf.validate_schema(
+                {
+                    "benchmark": "attention",
+                    "schema_version": 2,
+                    "config": {},
+                    "attention_speedup_vs_seed": {},
+                    "serve": {"results": []},
+                    "results": [{"num_nodes": 1, "num_significant": 1, "dtype": "float32",
+                                 "attention_vectorized_ms": 1.0, "gconv_ms": 1.0}],
                 }
             )
 

@@ -1,0 +1,223 @@
+"""Tests for the frozen-graph inference service and the micro-batching queue."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_baseline
+from repro.core import SAGDFN, Trainer
+from repro.data.synthetic.traffic import TrafficConfig, generate_traffic_dataset
+from repro.experiments.common import prepare_data_from_series, small_sagdfn_config
+from repro.optim import Adam
+from repro.serve import ForecastService, MicroBatcher
+from repro.serve.__main__ import main as serve_main
+from repro.tensor import Tensor, no_grad
+from repro.utils import save_bundle, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    """A briefly-trained SAGDFN, its data, and a serving bundle on disk."""
+    series = generate_traffic_dataset(TrafficConfig(num_nodes=8, num_steps=160, seed=5))
+    data = prepare_data_from_series(series, history=4, horizon=3, batch_size=8,
+                                    seed=0, name="serve_tiny")
+    config = small_sagdfn_config(data, num_significant=6, top_k=4,
+                                 convergence_iteration=3, hidden_size=12)
+    model = SAGDFN(config)
+    trainer = Trainer(model, Adam(model.parameters(), lr=5e-3), scaler=data.scaler)
+    trainer.fit(data.train_loader, epochs=1)
+    model.refresh_graph(config.convergence_iteration + 1)  # freeze the index set
+    bundle_path = save_bundle(model, tmp_path_factory.mktemp("serve") / "bundle",
+                              scaler=data.scaler, metadata={"epochs": 1})
+    return model, trainer, data, bundle_path
+
+
+def _trainer_forward(model, scaler, batch_x):
+    """The exact Trainer.evaluate per-batch forward."""
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            out = model(Tensor(batch_x)) * scaler.std_ + scaler.mean_
+        return out.data
+    finally:
+        model.train(was_training)
+
+
+class TestForecastService:
+    def test_frozen_predictions_match_trainer_forward(self, trained):
+        model, _, data, _ = trained
+        service = ForecastService(model, scaler=data.scaler)
+        assert service.frozen is not None
+        for batch_x, _ in data.test_loader:
+            reference = _trainer_forward(model, data.scaler, batch_x)
+            assert np.abs(service.predict(batch_x) - reference).max() < 1e-6
+
+    def test_from_checkpoint_matches_live_model(self, trained):
+        model, _, data, bundle_path = trained
+        live = ForecastService(model, scaler=data.scaler)
+        rehydrated = ForecastService.from_checkpoint(bundle_path)
+        assert rehydrated.frozen is not None
+        assert np.array_equal(rehydrated.frozen.index_set, live.frozen.index_set)
+        assert np.allclose(rehydrated.frozen.adjacency, live.frozen.adjacency)
+        batch_x, _ = next(iter(data.test_loader))
+        assert np.allclose(rehydrated.predict(batch_x), live.predict(batch_x))
+
+    def test_streaming_evaluate_matches_trainer(self, trained):
+        model, trainer, data, bundle_path = trained
+        service = ForecastService.from_checkpoint(bundle_path)
+        served = service.evaluate(data.test_loader)
+        reference = trainer.evaluate(data.test_loader)
+        for key in ("mae", "rmse", "mape"):
+            assert served[key] == pytest.approx(reference[key], rel=1e-9)
+
+    def test_unfrozen_service_falls_back_to_full_forward(self, trained):
+        model, _, data, _ = trained
+        service = ForecastService(model, scaler=data.scaler, freeze_graph=False)
+        assert service.frozen is None
+        batch_x, _ = next(iter(data.test_loader))
+        reference = _trainer_forward(model, data.scaler, batch_x)
+        assert np.allclose(service.predict(batch_x), reference)
+
+    def test_generic_module_is_served_without_frozen_graph(self, rng):
+        model = build_baseline("GRU", 5, 2, 4, 3, hidden_size=8)
+        service = ForecastService(model)
+        assert service.frozen is None
+        batch = rng.normal(size=(2, 4, 5, 2))
+        assert service.predict(batch).shape == (2, 3, 5, 1)
+
+    def test_predict_one_and_validation(self, trained):
+        model, _, data, _ = trained
+        service = ForecastService(model, scaler=data.scaler)
+        batch_x, _ = next(iter(data.test_loader))
+        single = service.predict_one(batch_x[0])
+        assert np.allclose(single, service.predict(batch_x[:1])[0])
+        with pytest.raises(ValueError):
+            service.predict(batch_x[0])  # missing batch dimension
+        with pytest.raises(ValueError):
+            service.predict_one(batch_x)  # extra batch dimension
+
+    def test_request_counter(self, trained):
+        model, _, data, _ = trained
+        service = ForecastService(model, scaler=data.scaler)
+        batch_x, _ = next(iter(data.test_loader))
+        service.predict(batch_x)
+        service.predict_one(batch_x[0])
+        assert service.num_requests == batch_x.shape[0] + 1
+
+    def test_frozen_graph_skips_attention(self, trained, monkeypatch):
+        """After freezing, requests must not re-run SNS or the attention."""
+        model, _, data, _ = trained
+        service = ForecastService(model, scaler=data.scaler)
+
+        def _fail(*args, **kwargs):
+            raise AssertionError("attention re-ran during a frozen-graph request")
+
+        monkeypatch.setattr(model.attention, "forward", _fail)
+        monkeypatch.setattr(model.sampler, "sample", _fail)
+        batch_x, _ = next(iter(data.test_loader))
+        service.predict(batch_x)  # must not touch the patched paths
+
+
+class TestMicroBatcher:
+    def test_results_match_direct_prediction_in_order(self, trained):
+        model, _, data, _ = trained
+        service = ForecastService(model, scaler=data.scaler)
+        batch_x, _ = next(iter(data.test_loader))
+        direct = service.predict(batch_x)
+        with MicroBatcher(service.predict, max_batch=3, max_wait_ms=20.0) as batcher:
+            futures = [batcher.submit(window) for window in batch_x]
+            results = np.stack([future.result(timeout=30) for future in futures])
+        assert np.allclose(results, direct)
+        assert batcher.stats.num_requests == batch_x.shape[0]
+
+    def test_coalesces_up_to_max_batch(self, trained):
+        model, _, data, _ = trained
+        service = ForecastService(model, scaler=data.scaler)
+        batch_x, _ = next(iter(data.test_loader))
+        batcher = MicroBatcher(service.predict, max_batch=4, max_wait_ms=200.0)
+        try:
+            futures = [batcher.submit(window) for window in batch_x[:8]]
+            for future in futures:
+                future.result(timeout=30)
+            assert batcher.stats.max_batch_size <= 4
+            assert batcher.stats.num_batches >= 2
+            assert batcher.stats.mean_batch_size > 1.0
+        finally:
+            batcher.close()
+
+    def test_concurrent_clients(self, trained):
+        model, _, data, _ = trained
+        service = ForecastService(model, scaler=data.scaler)
+        batch_x, _ = next(iter(data.test_loader))
+        direct = service.predict(batch_x)
+        results = {}
+
+        def client(i):
+            results[i] = batcher.predict(batch_x[i], timeout=30)
+
+        with MicroBatcher(service.predict, max_batch=8, max_wait_ms=10.0) as batcher:
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(batch_x.shape[0])]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for i in range(batch_x.shape[0]):
+            assert np.allclose(results[i], direct[i])
+
+    def test_prediction_errors_propagate_to_futures(self):
+        def broken(batch):
+            raise RuntimeError("model exploded")
+
+        with MicroBatcher(broken, max_batch=2, max_wait_ms=1.0) as batcher:
+            future = batcher.submit(np.zeros((2, 3, 1)))
+            with pytest.raises(RuntimeError, match="model exploded"):
+                future.result(timeout=30)
+
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(lambda batch: batch, max_batch=2, max_wait_ms=0.0)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(np.zeros((1, 1, 1)))
+        batcher.close()  # idempotent
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda batch: batch, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda batch: batch, max_wait_ms=-1.0)
+
+
+class TestServeCLI:
+    def test_synthetic_requests_roundtrip(self, trained, tmp_path, capsys):
+        _, _, _, bundle_path = trained
+        output = tmp_path / "predictions.npy"
+        code = serve_main([str(bundle_path), "--requests", "6", "--max-batch", "3",
+                           "--output", str(output)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "frozen-graph mode" in printed
+        assert "served 6 requests" in printed
+        predictions = np.load(output)
+        assert predictions.shape[0] == 6
+
+    def test_input_file_requests(self, trained, tmp_path, capsys):
+        model, _, data, bundle_path = trained
+        batch_x, _ = next(iter(data.test_loader))
+        request_path = tmp_path / "requests.npy"
+        np.save(request_path, batch_x)
+        output = tmp_path / "out.npy"
+        code = serve_main([str(bundle_path), "--input", str(request_path),
+                           "--output", str(output)])
+        assert code == 0
+        service = ForecastService(model, scaler=data.scaler)
+        assert np.allclose(np.load(output), service.predict(batch_x), atol=1e-6)
+
+    def test_plain_checkpoint_is_rejected(self, trained, tmp_path):
+        model, _, _, _ = trained
+        plain = save_checkpoint(model, tmp_path / "plain")
+        with pytest.raises(ValueError, match="not a serving bundle"):
+            serve_main([str(plain)])

@@ -1,0 +1,164 @@
+"""Streaming evaluation: batch-accumulated metrics vs the concatenate-everything path."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_baseline
+from repro.core import Trainer
+from repro.data import DataLoader, MultivariateTimeSeries, SlidingWindowDataset
+from repro.evaluation import StreamingMetrics, collect_predictions, evaluate_neural
+from repro.metrics import horizon_metrics, metrics_dict
+from repro.nn.loss import masked_mae, masked_mape, masked_mse
+from repro.optim import Adam
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def batches(rng):
+    """Five unequal batches of (prediction, target) with missing entries."""
+    out = []
+    for size in (4, 7, 1, 5, 3):
+        target = np.abs(rng.normal(loc=40.0, scale=8.0, size=(size, 6, 9, 1)))
+        target[rng.random(target.shape) < 0.08] = 0.0  # missing readings
+        prediction = target + rng.normal(scale=2.0, size=target.shape)
+        out.append((prediction, target))
+    return out
+
+
+class TestStreamingMetrics:
+    def test_matches_concatenated_masked_losses(self, batches):
+        stream = StreamingMetrics(null_value=0.0)
+        for prediction, target in batches:
+            stream.update(prediction, target)
+        result = stream.compute()
+
+        prediction = Tensor(np.concatenate([p for p, _ in batches]))
+        target = Tensor(np.concatenate([t for _, t in batches]))
+        assert result["mae"] == pytest.approx(
+            float(masked_mae(prediction, target, null_value=0.0).data), rel=1e-12
+        )
+        assert result["rmse"] == pytest.approx(
+            float(np.sqrt(masked_mse(prediction, target, null_value=0.0).data)), rel=1e-12
+        )
+        assert result["mape"] == pytest.approx(
+            float(masked_mape(prediction, target, null_value=0.0).data), rel=1e-12
+        )
+
+    def test_matches_array_metrics_dict(self, batches):
+        stream = StreamingMetrics(null_value=0.0)
+        for prediction, target in batches:
+            stream.update(prediction, target)
+        concat = metrics_dict(
+            np.concatenate([p for p, _ in batches]),
+            np.concatenate([t for _, t in batches]),
+            null_value=0.0,
+        )
+        for key, value in stream.compute().items():
+            assert value == pytest.approx(concat[key], rel=1e-12)
+
+    def test_per_horizon_matches_concatenated(self, batches):
+        stream = StreamingMetrics(null_value=0.0)
+        for prediction, target in batches:
+            stream.update(prediction, target)
+        reference = horizon_metrics(
+            np.concatenate([p for p, _ in batches]),
+            np.concatenate([t for _, t in batches]),
+            horizons=(1, 3, 6),
+            null_value=0.0,
+        )
+        for streamed, ref in zip(stream.horizon_metrics((1, 3, 6)), reference):
+            assert streamed.horizon == ref.horizon
+            assert streamed.mae == pytest.approx(ref.mae, rel=1e-12)
+            assert streamed.rmse == pytest.approx(ref.rmse, rel=1e-12)
+            assert streamed.mape == pytest.approx(ref.mape, rel=1e-12)
+
+    def test_nan_null_value(self, rng):
+        target = rng.normal(size=(3, 4, 5, 1))
+        target[0, 0, 0, 0] = np.nan
+        prediction = np.nan_to_num(target) + 1.0
+        stream = StreamingMetrics(null_value=float("nan"))
+        stream.update(prediction, target)
+        assert stream.compute()["mae"] == pytest.approx(1.0)
+
+    def test_no_masking(self, rng):
+        target = np.zeros((2, 3, 4, 1))
+        prediction = target + 2.0
+        stream = StreamingMetrics(null_value=None)
+        stream.update(prediction, target)
+        assert stream.compute()["mae"] == pytest.approx(2.0)
+        assert stream.compute()["rmse"] == pytest.approx(2.0)
+
+    def test_empty_stream_is_nan(self):
+        metrics = StreamingMetrics().compute()
+        assert all(np.isnan(value) for value in metrics.values())
+
+    def test_all_masked_is_nan(self):
+        stream = StreamingMetrics(null_value=0.0)
+        stream.update(np.ones((2, 3, 4, 1)), np.zeros((2, 3, 4, 1)))
+        assert all(np.isnan(value) for value in stream.compute().values())
+
+    def test_shape_mismatch_and_midstream_change_raise(self, rng):
+        stream = StreamingMetrics()
+        with pytest.raises(ValueError):
+            stream.update(np.ones((2, 3, 4, 1)), np.ones((2, 3, 5, 1)))
+        stream.update(np.ones((2, 3, 4, 1)), np.ones((2, 3, 4, 1)))
+        with pytest.raises(ValueError):
+            stream.update(np.ones((2, 5, 4, 1)), np.ones((2, 5, 4, 1)))
+
+    def test_counters(self, batches):
+        stream = StreamingMetrics()
+        for prediction, target in batches:
+            stream.update(prediction, target)
+        assert stream.num_batches == len(batches)
+        assert stream.num_samples == sum(p.shape[0] for p, _ in batches)
+
+
+@pytest.fixture
+def model_and_loader(rng):
+    values = np.abs(rng.normal(loc=30.0, scale=5.0, size=(120, 6, 1)))
+    values[rng.random(values.shape) < 0.05] = 0.0
+    series = MultivariateTimeSeries(values, step_minutes=5)
+    dataset = SlidingWindowDataset(series, history=5, horizon=4)
+    loader = DataLoader(dataset, batch_size=16)  # multiple batches, uneven tail
+    model = build_baseline("GRU", 6, 1, 5, 4, hidden_size=8)
+    return model, loader
+
+
+class TestStreamingEvaluationPaths:
+    def test_trainer_evaluate_matches_concat_implementation(self, model_and_loader):
+        model, loader = model_and_loader
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-3))
+        streamed = trainer.evaluate(loader)
+
+        # The seed implementation: concatenate every prediction, then one
+        # masked-metric call over the full arrays.
+        predictions, targets = collect_predictions(model, loader)
+        prediction, target = Tensor(predictions), Tensor(targets)
+        assert streamed["mae"] == pytest.approx(
+            float(masked_mae(prediction, target, null_value=0.0).data), rel=1e-9
+        )
+        assert streamed["rmse"] == pytest.approx(
+            float(np.sqrt(masked_mse(prediction, target, null_value=0.0).data)), rel=1e-9
+        )
+        assert streamed["mape"] == pytest.approx(
+            float(masked_mape(prediction, target, null_value=0.0).data), rel=1e-9
+        )
+
+    def test_evaluate_neural_matches_concat_horizons(self, model_and_loader):
+        model, loader = model_and_loader
+        streamed = evaluate_neural(model, loader, horizons=(1, 2, 4))
+        predictions, targets = collect_predictions(model, loader)
+        reference = horizon_metrics(predictions, targets, horizons=(1, 2, 4))
+        for got, ref in zip(streamed, reference):
+            assert got.mae == pytest.approx(ref.mae, rel=1e-9)
+            assert got.rmse == pytest.approx(ref.rmse, rel=1e-9)
+            assert got.mape == pytest.approx(ref.mape, rel=1e-9)
+
+    def test_evaluate_neural_restores_train_mode(self, model_and_loader):
+        model, loader = model_and_loader
+        model.train()
+        evaluate_neural(model, loader, horizons=(1,))
+        assert model.training
+        model.eval()
+        evaluate_neural(model, loader, horizons=(1,))
+        assert not model.training
