@@ -9,7 +9,11 @@ Times the three costs that dominate SAGDFN training at Table VI/VII scales
 * ``gconv`` — one :class:`FastGraphConv` forward over the slim adjacency;
 * ``train_step`` — one full SAGDFN forward + backward + optimiser step;
 * ``serve`` — frozen-graph :class:`~repro.serve.ForecastService` request
-  latency (p50/p95) and throughput at batch sizes 1 / 8 / 32.
+  latency (p50/p95) and throughput at batch sizes 1 / 8 / 32;
+* ``scaling`` — the memory-bounded large-N pathway: wall time and peak
+  memory (tracemalloc + RSS high watermark) of one chunked SNS + attention
+  forward at N ∈ {500, 2000, 5000, 10000}, with a bit-identity check against
+  the unchunked path at every N where both are run.
 
 Results are written as JSON (default: ``BENCH_attention.json`` at the repo
 root) so subsequent PRs have a perf trajectory to compare against::
@@ -17,6 +21,8 @@ root) so subsequent PRs have a perf trajectory to compare against::
     PYTHONPATH=src python benchmarks/perf/run_perf.py                 # N = 200, 2000
     PYTHONPATH=src python benchmarks/perf/run_perf.py --smoke         # CI: N = 200 only
     PYTHONPATH=src python benchmarks/perf/run_perf.py --sizes 200 2000 10000
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --scaling-only \\
+        --scaling-sizes 2000 --assert-scaling-peak-mb 256             # large-N smoke
 
 The headline ``attention_speedup_vs_seed`` compares the vectorised kernel
 under the engine's float32 policy against the seed per-head loop at the
@@ -30,6 +36,7 @@ import argparse
 import json
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -38,16 +45,44 @@ if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
 
 import numpy as np
 
-from repro.core import SAGDFN, SAGDFNConfig, SparseSpatialMultiHeadAttention, FastGraphConv
+from repro.core import (
+    SAGDFN,
+    SAGDFNConfig,
+    SignificantNeighborsSampling,
+    SparseSpatialMultiHeadAttention,
+    FastGraphConv,
+)
 from repro.nn.loss import masked_mae
 from repro.nn.module import Parameter
 from repro.optim import Adam, clip_grad_norm
 from repro.serve import ForecastService
-from repro.tensor import Tensor, default_dtype
+from repro.tensor import Tensor, default_dtype, no_grad
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DEFAULT_SIZES = (200, 2000)
+SCALING_SIZES = (500, 2000, 5000, 10000)
 SERVE_BATCH_SIZES = (1, 8, 32)
+
+
+def _peak_rss_mb() -> float:
+    """Process RSS high watermark in MiB (monotone; Linux reports KiB)."""
+    import resource
+
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    divisor = 1024.0 if sys.platform != "darwin" else 1024.0 * 1024.0
+    return usage / divisor
+
+
+def _traced_peak_mb(fn) -> float:
+    """Peak tracemalloc allocation (MiB) while running ``fn`` once."""
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 2**20
 
 
 def _time(fn, repeats: int, warmup: int = 1) -> float:
@@ -177,8 +212,102 @@ def bench_serve(num_nodes: int, m: int, heads: int, embedding_dim: int,
         }
 
 
+def bench_scaling(sizes, m, heads, embedding_dim, ffn_hidden, repeats,
+                  memory_budget_mb, equivalence_max_n, dtype: str = "float32") -> dict:
+    """Memory-bounded SNS + attention forward at growing N.
+
+    Each entry times one chunked forward (index-set sampling followed by the
+    node-tiled attention under ``no_grad``) and records its tracemalloc peak
+    — ``peak_mem_mb``, the per-entry number the ``--assert-scaling-peak-mb``
+    gate checks.  ``peak_rss_mb`` is the *process-lifetime* RSS high
+    watermark at that point (``ru_maxrss`` cannot be reset on Linux), so it
+    is context for the whole run — it includes every earlier bench section
+    and the deliberately unbounded unchunked comparison runs — not a bound
+    on the chunked forward itself.  At every ``N <= equivalence_max_n`` the
+    unchunked path is also run and the two index sets / slim adjacencies are
+    compared **bitwise** — the chunked pathway's core guarantee.
+    """
+    entries = []
+    with default_dtype(dtype):
+        for num_nodes in sizes:
+            m_eff = min(m, num_nodes)
+            top_k = max(1, int(m_eff * 0.8))
+            rng = np.random.default_rng(0)
+            embeddings_np = rng.normal(size=(num_nodes, embedding_dim))
+            sampler = SignificantNeighborsSampling(
+                num_nodes, m_eff, top_k, seed=0, memory_budget_mb=memory_budget_mb
+            )
+            attention = SparseSpatialMultiHeadAttention(
+                embedding_dim=embedding_dim, num_heads=heads, ffn_hidden=ffn_hidden,
+                seed=0, memory_budget_mb=memory_budget_mb,
+            )
+            embeddings = Tensor(embeddings_np)
+            result: dict = {}
+
+            def forward(sampler=sampler, attention=attention, result=result):
+                index_set = sampler.sample(embeddings_np, explore=False)
+                with no_grad():
+                    adjacency = attention(embeddings, index_set)
+                result["index_set"], result["adjacency"] = index_set, adjacency.data
+
+            wall_ms = _time(forward, repeats)
+            peak_mem_mb = _traced_peak_mb(forward)
+
+            entry = {
+                "num_nodes": int(num_nodes),
+                "num_significant": int(m_eff),
+                "dtype": dtype,
+                "wall_ms": wall_ms,
+                "peak_mem_mb": peak_mem_mb,
+                "peak_rss_mb": _peak_rss_mb(),
+                "within_budget": bool(peak_mem_mb <= memory_budget_mb),
+                "chunked_equals_unchunked": None,
+                "unchunked_peak_mem_mb": None,
+            }
+
+            if num_nodes <= equivalence_max_n:
+                plain_sampler = SignificantNeighborsSampling(num_nodes, m_eff, top_k, seed=0)
+                plain_attention = SparseSpatialMultiHeadAttention(
+                    embedding_dim=embedding_dim, num_heads=heads, ffn_hidden=ffn_hidden,
+                    seed=0,
+                )
+                plain: dict = {}
+
+                def forward_plain():
+                    index_set = plain_sampler.sample(embeddings_np, explore=False)
+                    with no_grad():
+                        adjacency = plain_attention(embeddings, index_set)
+                    plain["index_set"], plain["adjacency"] = index_set, adjacency.data
+
+                entry["unchunked_peak_mem_mb"] = _traced_peak_mb(forward_plain)
+                entry["chunked_equals_unchunked"] = bool(
+                    np.array_equal(result["index_set"], plain["index_set"])
+                    and np.array_equal(result["adjacency"], plain["adjacency"])
+                )
+
+            entries.append(entry)
+            equal = entry["chunked_equals_unchunked"]
+            print(
+                f"scaling N={num_nodes:>6} M={m_eff:>3}: {wall_ms:.1f} ms, "
+                f"peak {peak_mem_mb:.1f} MiB (budget {memory_budget_mb} MiB, "
+                f"rss {entry['peak_rss_mb']:.0f} MiB)"
+                + (f", unchunked peak {entry['unchunked_peak_mem_mb']:.1f} MiB, "
+                   f"bitwise-equal={equal}" if equal is not None else ""),
+                flush=True,
+            )
+    return {
+        "memory_budget_mb": float(memory_budget_mb),
+        "embedding_dim": int(embedding_dim),
+        "num_heads": int(heads),
+        "ffn_hidden": int(ffn_hidden),
+        "dtype": dtype,
+        "results": entries,
+    }
+
+
 def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
-        train_step_max_n) -> dict:
+        train_step_max_n, scaling_sizes=SCALING_SIZES, scaling_budget_mb=64.0,
+        scaling_embedding_dim=64, scaling_equivalence_max_n=10_000) -> dict:
     results = []
     for num_nodes in sizes:
         m_eff = min(m, num_nodes)
@@ -232,6 +361,12 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
     serve = bench_serve(serve_n, min(m, serve_n), heads, embedding_dim,
                         ffn_hidden, hidden, repeats)
 
+    # Large-N pathway: wall time + peak memory of the chunked SNS/attention
+    # forward, with the bitwise chunked-vs-unchunked check.
+    scaling = bench_scaling(scaling_sizes, m, heads, scaling_embedding_dim,
+                            ffn_hidden, repeats, scaling_budget_mb,
+                            scaling_equivalence_max_n)
+
     return {
         "benchmark": "attention",
         "schema_version": SCHEMA_VERSION,
@@ -246,14 +381,34 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         },
         "attention_speedup_vs_seed": headline,
         "serve": serve,
+        "scaling": scaling,
         "results": results,
     }
+
+
+def validate_scaling(section: dict) -> None:
+    """Raise ``ValueError`` if ``section`` is not a valid scaling section."""
+    if not isinstance(section, dict) or not section.get("results"):
+        raise ValueError("scaling section must hold a non-empty results list")
+    if "memory_budget_mb" not in section:
+        raise ValueError("scaling section missing key 'memory_budget_mb'")
+    for entry in section["results"]:
+        for key in ("num_nodes", "num_significant", "dtype", "wall_ms",
+                    "peak_mem_mb", "peak_rss_mb", "within_budget",
+                    "chunked_equals_unchunked"):
+            if key not in entry:
+                raise ValueError(f"scaling entry missing key {key!r}: {entry}")
+        if entry["chunked_equals_unchunked"] is False:
+            raise ValueError(
+                f"chunked path diverged from the unchunked path at "
+                f"N={entry['num_nodes']}"
+            )
 
 
 def validate_schema(report: dict) -> None:
     """Raise ``ValueError`` if ``report`` is not a valid benchmark report."""
     for key in ("benchmark", "schema_version", "config", "results",
-                "attention_speedup_vs_seed", "serve"):
+                "attention_speedup_vs_seed", "serve", "scaling"):
         if key not in report:
             raise ValueError(f"missing top-level key {key!r}")
     if not isinstance(report["results"], list) or not report["results"]:
@@ -272,6 +427,7 @@ def validate_schema(report: dict) -> None:
         for key in ("batch_size", "latency_p50_ms", "latency_p95_ms", "throughput_rps"):
             if key not in entry:
                 raise ValueError(f"serve entry missing key {key!r}: {entry}")
+    validate_scaling(report["scaling"])
 
 
 def main(argv=None) -> dict:
@@ -288,26 +444,83 @@ def main(argv=None) -> dict:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--train-step-max-n", type=int, default=2000,
                         help="skip the train-step bench above this node count")
+    parser.add_argument("--scaling-sizes", type=int, nargs="+",
+                        default=list(SCALING_SIZES),
+                        help="node counts of the large-N scaling bench")
+    parser.add_argument("--scaling-budget-mb", type=float, default=64.0,
+                        help="memory budget (MiB) of the chunked scaling forward")
+    parser.add_argument("--scaling-embedding-dim", type=int, default=64,
+                        help="embedding width of the scaling bench (larger than the "
+                             "micro-bench default so the O(N*M*d) term dominates)")
+    parser.add_argument("--scaling-equivalence-max-n", type=int, default=10_000,
+                        help="run the unchunked path and the bitwise check up to this N")
+    parser.add_argument("--scaling-only", action="store_true",
+                        help="run (and write) only the scaling section")
+    parser.add_argument("--assert-scaling-peak-mb", type=float, default=None,
+                        help="exit non-zero if any scaling entry's tracemalloc peak "
+                             "exceeds this many MiB")
     parser.add_argument("--smoke", action="store_true",
-                        help="CI mode: N=200 only, single repeat")
-    parser.add_argument("--output", type=Path,
-                        default=REPO_ROOT / "BENCH_attention.json")
+                        help="CI mode: smallest N only, single repeat")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="report path (default: BENCH_attention.json at the repo "
+                             "root, or BENCH_scaling.json with --scaling-only — the "
+                             "scaling-only report has a reduced schema and must not "
+                             "clobber the committed full benchmark)")
     args = parser.parse_args(argv)
 
-    if any(size < 1 for size in args.sizes):
-        parser.error("--sizes values must be positive node counts")
+    if any(size < 1 for size in args.sizes + args.scaling_sizes):
+        parser.error("--sizes/--scaling-sizes values must be positive node counts")
     if args.m < 1 or args.repeats < 1:
         parser.error("--m and --repeats must be >= 1")
 
     if args.smoke:
         args.sizes = [min(args.sizes)]
+        args.scaling_sizes = [min(args.scaling_sizes)]
         args.repeats = 1
 
-    report = run(args.sizes, args.m, args.heads, args.embedding_dim,
-                 args.ffn_hidden, args.hidden, args.repeats, args.train_step_max_n)
-    validate_schema(report)
+    if args.output is None:
+        args.output = REPO_ROOT / (
+            "BENCH_scaling.json" if args.scaling_only else "BENCH_attention.json"
+        )
+
+    if args.scaling_only:
+        scaling = bench_scaling(args.scaling_sizes, args.m, args.heads,
+                                args.scaling_embedding_dim, args.ffn_hidden,
+                                args.repeats, args.scaling_budget_mb,
+                                args.scaling_equivalence_max_n)
+        report = {
+            "benchmark": "attention-scaling",
+            "schema_version": SCHEMA_VERSION,
+            "scaling": scaling,
+        }
+    else:
+        report = run(args.sizes, args.m, args.heads, args.embedding_dim,
+                     args.ffn_hidden, args.hidden, args.repeats, args.train_step_max_n,
+                     scaling_sizes=args.scaling_sizes,
+                     scaling_budget_mb=args.scaling_budget_mb,
+                     scaling_embedding_dim=args.scaling_embedding_dim,
+                     scaling_equivalence_max_n=args.scaling_equivalence_max_n)
+
+    # Write the report before any gate (schema validation, the bitwise
+    # divergence check inside it, the peak assertion): a failing gate in CI
+    # must still leave the per-N diagnostic JSON for the artifact upload.
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
+
+    if args.scaling_only:
+        validate_scaling(report["scaling"])
+    else:
+        validate_schema(report)
+
+    if args.assert_scaling_peak_mb is not None:
+        for entry in report["scaling"]["results"]:
+            if entry["peak_mem_mb"] > args.assert_scaling_peak_mb:
+                raise SystemExit(
+                    f"scaling peak {entry['peak_mem_mb']:.1f} MiB at "
+                    f"N={entry['num_nodes']} exceeds the "
+                    f"{args.assert_scaling_peak_mb} MiB assertion"
+                )
+        print(f"scaling peak assertion (<= {args.assert_scaling_peak_mb} MiB) ok")
     return report
 
 

@@ -33,6 +33,16 @@ reduction in autograd memory.  The mathematically equivalent per-head loop is
 retained as :meth:`forward_looped` for equivalence tests and as the benchmark
 baseline.
 
+On top of the scratch tiling, the ``chunk_size`` / ``memory_budget_mb``
+knobs (threaded from :class:`~repro.core.config.SAGDFNConfig`) enable the
+**node-tiled scoring mode**: the whole scoring pipeline — raw scores,
+α-entmax normalisation and head mixing — runs one node block at a time and
+the per-block slim-adjacency rows are concatenated.  Every stage is
+row-independent along the node axis, so the tiled output is bit-identical to
+the single-pass one at any block size; under ``no_grad`` (frozen-graph
+serving, the scaling benchmark) peak memory is ``O(chunk·M)`` scratch plus
+the ``(N, M)`` result itself.
+
 Checkpoints from the per-head era (keys ``heads.{p}.input_layer.weight`` …)
 are migrated transparently by :meth:`_upgrade_state_dict`.
 """
@@ -50,8 +60,19 @@ from repro.utils.seed import spawn_rng
 # Scratch-buffer budget of the tiled scoring kernel: tiles are sized so one
 # (P, tile, M, h) hidden-activation block stays around this many bytes,
 # keeping the add/bias/relu/matmul chain in cache instead of streaming a
-# (P, N, M, h) tensor through main memory several times.
+# (P, N, M, h) tensor through main memory several times.  The constant also
+# defines the *canonical tile grid*: BLAS reductions are not bit-stable
+# across call shapes, so the chunked and unchunked paths stay byte-identical
+# only because both issue the exact same per-tile kernel calls — node blocks
+# are always rounded up to multiples of this grid, and the grid itself never
+# depends on the chunking knobs.
 _TILE_BYTES = 4 * 1024 * 1024
+
+
+def _tile_rows(heads: int, num_significant: int, hidden: int, itemsize: int,
+               tile_bytes: int = _TILE_BYTES) -> int:
+    """Rows per canonical scoring tile (one (P, tile, M, h) scratch block)."""
+    return max(1, int(tile_bytes // max(1, heads * num_significant * hidden * itemsize)))
 
 
 def _batched_pair_scores(
@@ -61,6 +82,7 @@ def _batched_pair_scores(
     b1: Tensor,
     w2: Tensor,
     b2: Tensor,
+    tile_bytes: int = _TILE_BYTES,
 ) -> Tensor:
     """Raw pair scores ``(P, N, M, out)`` of all ``P`` scoring FFNs at once.
 
@@ -68,7 +90,10 @@ def _batched_pair_scores(
     (node, neighbour) pair without materialising either the ``(N, M, 2d)``
     pair tensor or the full ``(P, N, M, h)`` hidden activation: the node axis
     is processed in cache-sized tiles, and the backward pass recomputes each
-    tile's activations rather than keeping them alive in the graph.
+    tile's activations rather than keeping them alive in the graph.  The
+    first-layer node projection is evaluated per tile as well, so every BLAS
+    call has the same shape no matter how many rows the caller passes — the
+    property the node-tiled scoring mode's bit-identity rests on.
     """
     num_nodes, dim = embeddings.shape
     num_significant = neighbour_embeddings.shape[0]
@@ -80,18 +105,18 @@ def _batched_pair_scores(
     w1_node, w1_neigh = w1.data[:, :dim, :], w1.data[:, dim:, :]
     dtype = np.result_type(e.dtype, w1.data.dtype)
 
-    node_part = np.matmul(e, w1_node)  # (P, N, h)
     neigh_part = np.matmul(e_i, w1_neigh) + b1.data[:, None, :]  # (P, M, h)
 
-    tile = int(_TILE_BYTES // max(1, heads * num_significant * hidden * dtype.itemsize))
-    tile = max(1, min(num_nodes, tile))
+    tile = min(num_nodes, _tile_rows(heads, num_significant, hidden, dtype.itemsize,
+                                     tile_bytes))
 
     def _tiles(buffer, consume):
         """Recompute relu(node + neigh) tile-by-tile and hand each to ``consume``."""
         for start in range(0, num_nodes, tile):
             stop = min(start + tile, num_nodes)
+            node_part = np.matmul(e[start:stop], w1_node)  # (P, tile, h)
             pre = buffer[:, : stop - start]
-            np.add(node_part[:, start:stop, None, :], neigh_part[:, None, :, :], out=pre)
+            np.add(node_part[:, :, None, :], neigh_part[:, None, :, :], out=pre)
             np.maximum(pre, 0.0, out=pre)
             consume(start, stop, pre)
 
@@ -112,7 +137,7 @@ def _batched_pair_scores(
     def backward(grad):
         grad = np.ascontiguousarray(grad, dtype=dtype)
         grad_w2 = np.zeros_like(w2.data)
-        grad_node = np.empty_like(node_part)
+        grad_node = np.empty((heads, num_nodes, hidden), dtype=dtype)
         grad_neigh_pre = np.zeros_like(neigh_part)
         buffer = np.empty((heads, tile, num_significant, hidden), dtype=dtype)
         w2_t = np.ascontiguousarray(np.swapaxes(w2.data, -1, -2))
@@ -164,6 +189,12 @@ class SparseSpatialMultiHeadAttention(Module):
     use_pairwise_attention:
         When ``False`` the slim adjacency is the normalised inner product
         ``E E_Iᵀ`` (the "w/o Attention" ablation).
+    chunk_size:
+        Node-block size of the tiled scoring mode (``None`` = single pass
+        with cache-heuristic scratch tiles).
+    memory_budget_mb:
+        Scratch budget (MiB) the node block is derived from when
+        ``chunk_size`` is not given.
     """
 
     _HEAD_OUT = 2  # each scoring FFN emits 2 channels per (node, neighbour) pair
@@ -177,18 +208,31 @@ class SparseSpatialMultiHeadAttention(Module):
         normalizer: str = "entmax",
         use_pairwise_attention: bool = True,
         seed: int | None = 0,
+        chunk_size: int | None = None,
+        memory_budget_mb: float | None = None,
     ):
         super().__init__()
         if num_heads < 1:
             raise ValueError("num_heads must be >= 1")
         if normalizer not in {"entmax", "softmax"}:
             raise ValueError("normalizer must be 'entmax' or 'softmax'")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None)")
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be positive (or None)")
         base = 0 if seed is None else seed
         self.embedding_dim = embedding_dim
         self.num_heads = num_heads
         self.ffn_hidden = ffn_hidden
         self.alpha = 1.0 if normalizer == "softmax" else alpha
         self.use_pairwise_attention = use_pairwise_attention
+        self.chunk_size = chunk_size
+        self.memory_budget_mb = memory_budget_mb
+        # Canonical scoring-tile budget; a constant (never knob-derived) so
+        # the tile grid — and therefore every BLAS call shape — is the same
+        # in the chunked and unchunked modes.  Tests may shrink it to
+        # exercise multi-tile paths on small graphs.
+        self._tile_bytes = _TILE_BYTES
         # Stacked scoring FFNs.  Per-head slices are drawn with the same
         # seeds the per-head FeedForward modules used (seed + 10p for layer
         # one, +1 for layer two), so fresh models initialise identically to
@@ -256,6 +300,87 @@ class SparseSpatialMultiHeadAttention(Module):
     # ------------------------------------------------------------------ #
     # Forward passes
     # ------------------------------------------------------------------ #
+    # Rough per-node-row scratch cost of one scoring block, in units of
+    # ``heads * num_significant * itemsize`` bytes: the raw 2-channel scores,
+    # the α-entmax solver's sort/cumsum temporaries and the interleaved
+    # multi-head rows come to roughly sixteen 2-channel copies.
+    _ROW_COST_CHANNELS = 32
+
+    def _grid_rows(self, num_significant: int, itemsize: int) -> int:
+        """Rows per canonical tile of the scoring grid (see ``_TILE_BYTES``)."""
+        return _tile_rows(self.num_heads, num_significant, self.ffn_hidden, itemsize,
+                          self._tile_bytes)
+
+    def _node_block(self, num_nodes: int, num_significant: int, itemsize: int) -> int | None:
+        """Node-block size of the tiled scoring mode (``None`` = single pass).
+
+        The requested block (explicit ``chunk_size``, or derived from
+        ``memory_budget_mb``) is rounded **up** to a multiple of the canonical
+        scoring-tile grid: BLAS kernels are only bit-stable across identical
+        call shapes, so blocks must tile the node axis exactly the way the
+        single-pass kernel does for the outputs to stay byte-identical.
+        """
+        if self.chunk_size is not None:
+            requested = int(self.chunk_size)
+        elif self.memory_budget_mb is not None:
+            row_bytes = (
+                self.num_heads * num_significant * self._ROW_COST_CHANNELS * itemsize
+            )
+            requested = int(self.memory_budget_mb * 2**20 // max(1, row_bytes))
+        else:
+            return None
+        grid = self._grid_rows(num_significant, itemsize)
+        block = max(1, (max(1, requested) + grid - 1) // grid) * grid
+        return None if block >= num_nodes else block
+
+    def _score_block(self, node_embeddings: Tensor, neighbour_embeddings: Tensor) -> Tensor:
+        """Slim-adjacency rows ``(n_block, M)`` for one block of node embeddings.
+
+        The block must start on a canonical-grid boundary; all shape-sensitive
+        stages (the fused scoring kernel and the head mixer) operate on the
+        same per-tile shapes as the single-pass forward, which is what makes
+        the tiled mode bit-identical.
+        """
+        num_rows = node_embeddings.shape[0]
+        num_significant = neighbour_embeddings.shape[0]
+        heads, out = self.num_heads, self._HEAD_OUT
+        # Eq. 1–2: all P scoring FFNs in one tiled, batched kernel.
+        raw = _batched_pair_scores(
+            node_embeddings,
+            neighbour_embeddings,
+            self.head_w1,
+            self.head_b1,
+            self.head_w2,
+            self.head_b2,
+            tile_bytes=self._tile_bytes,
+        )  # (P, n_block, M, 2)
+
+        # Eq. 3–4: sparsify along the neighbour axis, all heads in one call
+        # (the α-entmax solvers are row-local, hence block-size independent).
+        normalised = alpha_entmax(raw, alpha=self.alpha, axis=2)
+
+        # Eq. 5–6: interleave channels head-by-head — (n_block, M, 2P) with
+        # the same [head0-ch0, head0-ch1, head1-ch0, …] layout the per-head
+        # concat produced — and mix into one correlation strength per pair.
+        # The mixer matmul runs per canonical tile so its call shapes match
+        # between the tiled and single-pass modes.
+        multi_head = normalised.transpose(1, 2, 0, 3).reshape(
+            num_rows, num_significant, out * heads
+        )
+        itemsize = np.result_type(node_embeddings.data.dtype, self.head_w1.data.dtype).itemsize
+        grid = self._grid_rows(num_significant, itemsize)
+        if num_rows <= grid:
+            mixed = self.mixer(multi_head)
+        else:
+            mixed = concat(
+                [
+                    self.mixer(multi_head[start : min(start + grid, num_rows)])
+                    for start in range(0, num_rows, grid)
+                ],
+                axis=0,
+            )
+        return mixed.squeeze(-1)  # (n_block, M)
+
     def forward(self, embeddings: Tensor, index_set: np.ndarray) -> Tensor:
         """Return the slim adjacency ``A_s`` of shape ``(N, M)``.
 
@@ -263,6 +388,11 @@ class SparseSpatialMultiHeadAttention(Module):
         gradients flow back into it through the attention scores, which is
         how the index set and adjacency keep improving during training
         (Algorithm 2, lines 5–7).
+
+        With ``chunk_size`` / ``memory_budget_mb`` set, the scoring pipeline
+        runs in the node-tiled mode: every stage is row-independent along the
+        node axis, so the concatenated block outputs are bit-identical to the
+        single-pass result at any block size.
         """
         index_set = np.asarray(index_set, dtype=np.int64)
         num_nodes = embeddings.shape[0]
@@ -273,28 +403,18 @@ class SparseSpatialMultiHeadAttention(Module):
             scores = embeddings.matmul(neighbour_embeddings.transpose())  # (N, M)
             return alpha_entmax(scores, alpha=self.alpha, axis=-1)
 
-        heads, out = self.num_heads, self._HEAD_OUT
-        # Eq. 1–2: all P scoring FFNs in one tiled, batched kernel.
-        raw = _batched_pair_scores(
-            embeddings,
-            neighbour_embeddings,
-            self.head_w1,
-            self.head_b1,
-            self.head_w2,
-            self.head_b2,
-        )  # (P, N, M, 2)
-
-        # Eq. 3–4: sparsify along the neighbour axis, all heads in one call.
-        normalised = alpha_entmax(raw, alpha=self.alpha, axis=2)
-
-        # Eq. 5–6: interleave channels head-by-head — (N, M, 2P) with the
-        # same [head0-ch0, head0-ch1, head1-ch0, …] layout the per-head
-        # concat produced — and mix into one correlation strength per pair.
-        multi_head = normalised.transpose(1, 2, 0, 3).reshape(
-            num_nodes, num_significant, out * heads
+        itemsize = np.result_type(embeddings.data.dtype, self.head_w1.data.dtype).itemsize
+        block = self._node_block(num_nodes, num_significant, itemsize)
+        if block is None or block >= num_nodes:
+            return self._score_block(embeddings, neighbour_embeddings)
+        return concat(
+            [
+                self._score_block(embeddings[start : min(start + block, num_nodes)],
+                                  neighbour_embeddings)
+                for start in range(0, num_nodes, block)
+            ],
+            axis=0,
         )
-        slim_adjacency = self.mixer(multi_head).squeeze(-1)  # (N, M)
-        return slim_adjacency
 
     def forward_looped(self, embeddings: Tensor, index_set: np.ndarray) -> Tensor:
         """Reference per-head scoring loop (the pre-vectorisation hot path).

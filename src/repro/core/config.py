@@ -62,6 +62,17 @@ class SAGDFNConfig:
     use_predefined_graph:
         ``True`` reproduces the "w/o SNS & SSMA" ablation (distance-based
         top-``num_significant`` adjacency, no learned graph).
+    chunk_size:
+        Node-block size of the memory-bounded large-``N`` pathway.  When set,
+        the SNS distance ranking and the attention scoring pipeline process
+        nodes ``chunk_size`` rows at a time, so peak memory drops from
+        ``O(N·M·d)`` to ``O(chunk_size·M·d)`` while the outputs stay
+        bit-identical to the unchunked paths.  ``None`` leaves the default
+        (unchunked SNS, cache-heuristic attention tiles).
+    memory_budget_mb:
+        Alternative to ``chunk_size``: a per-forward scratch budget in MiB
+        from which each module derives its own node-block size.  Ignored
+        when ``chunk_size`` is set explicitly.
     seed:
         Seed for parameter initialisation and neighbour sampling.
     """
@@ -86,6 +97,8 @@ class SAGDFNConfig:
     use_pairwise_attention: bool = True
     use_sns: bool = True
     use_predefined_graph: bool = False
+    chunk_size: int | None = None
+    memory_budget_mb: float | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -108,6 +121,10 @@ class SAGDFNConfig:
             raise ValueError("num_layers must be >= 1")
         if not 0.0 <= self.teacher_forcing <= 1.0:
             raise ValueError("teacher_forcing must be a probability in [0, 1]")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None for the default)")
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be positive (or None for the default)")
 
     @classmethod
     def paper_setting(cls, num_nodes: int, history: int = 12, horizon: int = 12) -> "SAGDFNConfig":

@@ -35,6 +35,10 @@ class SAGDFNEncoderDecoder(Module):
     teacher_forcing:
         Probability of feeding the ground truth instead of the prediction to
         the decoder during training (scheduled-sampling style curriculum).
+    node_chunk_size:
+        Node-block size forwarded to every cell's graph convolutions (the
+        large-``N`` memory knob of :class:`~repro.core.config.SAGDFNConfig`);
+        ``None`` keeps the unchunked aggregation.
     """
 
     def __init__(
@@ -47,6 +51,7 @@ class SAGDFNEncoderDecoder(Module):
         num_layers: int = 1,
         teacher_forcing: float = 0.0,
         seed: int | None = 0,
+        node_chunk_size: int | None = None,
     ):
         super().__init__()
         if num_layers < 1:
@@ -58,6 +63,7 @@ class SAGDFNEncoderDecoder(Module):
         self.horizon = horizon
         self.num_layers = num_layers
         self.teacher_forcing = teacher_forcing
+        self.node_chunk_size = node_chunk_size
         self._rng = spawn_rng(base + 123)
 
         self.encoder_cells = [
@@ -67,6 +73,7 @@ class SAGDFNEncoderDecoder(Module):
                 output_dim,
                 diffusion_steps,
                 seed=base + layer,
+                node_chunk_size=node_chunk_size,
             )
             for layer in range(num_layers)
         ]
@@ -77,6 +84,7 @@ class SAGDFNEncoderDecoder(Module):
                 output_dim,
                 diffusion_steps,
                 seed=base + 100 + layer,
+                node_chunk_size=node_chunk_size,
             )
             for layer in range(num_layers)
         ]

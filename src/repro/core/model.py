@@ -45,11 +45,17 @@ class SAGDFN(Module):
             name="node_embeddings",
         )
 
+        # Large-N memory knobs: the chunked SNS ranking and the node-tiled
+        # attention scoring derive their block sizes from these; the
+        # encoder-decoder's graph convolutions only take an explicit block
+        # (their per-row cost depends on the batch size, unknown here).
         self.sampler = SignificantNeighborsSampling(
             num_nodes=config.num_nodes,
             num_significant=config.num_significant,
             top_k=config.top_k,
             seed=config.seed,
+            chunk_size=config.chunk_size,
+            memory_budget_mb=config.memory_budget_mb,
         )
         self.attention = SparseSpatialMultiHeadAttention(
             embedding_dim=config.embedding_dim,
@@ -59,6 +65,8 @@ class SAGDFN(Module):
             normalizer=config.normalizer,
             use_pairwise_attention=config.use_pairwise_attention,
             seed=config.seed,
+            chunk_size=config.chunk_size,
+            memory_budget_mb=config.memory_budget_mb,
         )
         self.forecaster = SAGDFNEncoderDecoder(
             input_dim=config.input_dim,
@@ -69,6 +77,7 @@ class SAGDFN(Module):
             num_layers=config.num_layers,
             teacher_forcing=config.teacher_forcing,
             seed=config.seed,
+            node_chunk_size=config.chunk_size,
         )
 
         # "w/o SNS & SSMA" ablation: a fixed, distance-derived dense support.

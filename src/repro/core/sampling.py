@@ -11,6 +11,17 @@ indices that are globally most significant:
 3. keep the ``K`` ids with the highest counts, and
 4. fill the remaining ``M − K`` slots with nodes sampled uniformly from the
    rest to keep exploring until training converges (iteration ``r``).
+
+Memory
+------
+The distance ranking (steps 1–2) is evaluated over **node blocks**: each
+block gathers only ``(chunk, M, d)`` candidate embeddings, so peak memory is
+``O(chunk·M·d)`` instead of the ``O(N·M·d)`` a full gather would cost at
+``N ≈ 10⁴``.  The per-id vote counts are integers accumulated across blocks,
+so the chunked ranking is bit-identical to the unchunked one for every block
+size.  ``chunk_size`` pins the block size directly; ``memory_budget_mb``
+derives it from a scratch budget; with neither, the full-``N`` single block
+of the original implementation is used.
 """
 
 from __future__ import annotations
@@ -18,6 +29,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.utils.seed import spawn_rng
+
+# Bytes per candidate slot of the blocked distance ranking: the float64
+# gathered embeddings, the difference buffer, the squared distances and a
+# margin for the norm/argsort temporaries.
+_RANKING_BYTES_PER_SLOT = 4 * 8
 
 
 class SignificantNeighborsSampling:
@@ -35,16 +51,36 @@ class SignificantNeighborsSampling:
         the remaining ``M − K`` slots are sampled randomly for exploration.
     seed:
         Seed of the candidate construction and of the exploration sampling.
+    chunk_size:
+        Node-block size of the distance ranking (``None`` = one full block).
+    memory_budget_mb:
+        Scratch budget (MiB) the ranking block size is derived from when
+        ``chunk_size`` is not given.
     """
 
-    def __init__(self, num_nodes: int, num_significant: int, top_k: int, seed: int | None = 0):
+    def __init__(
+        self,
+        num_nodes: int,
+        num_significant: int,
+        top_k: int,
+        seed: int | None = 0,
+        chunk_size: int | None = None,
+        memory_budget_mb: float | None = None,
+    ):
         if num_significant > num_nodes:
             raise ValueError("num_significant cannot exceed num_nodes")
         if not 0 < top_k <= num_significant:
             raise ValueError("top_k must satisfy 0 < top_k <= num_significant")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None)")
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be positive (or None)")
         self.num_nodes = num_nodes
         self.num_significant = num_significant
         self.top_k = top_k
+        self.chunk_size = chunk_size
+        self.memory_budget_mb = memory_budget_mb
+        self._seed = 0 if seed is None else seed
         self._rng = spawn_rng(seed)
         self.candidates = self._build_candidates()
         self._last_index_set: np.ndarray | None = None
@@ -63,9 +99,43 @@ class SignificantNeighborsSampling:
             candidates[node] = self._rng.choice(pool, size=m, replace=False)
         return candidates
 
+    def _ranking_block(self, embedding_dim: int) -> int:
+        """Node-block size of the distance ranking (full ``N`` when unbounded)."""
+        if self.chunk_size is not None:
+            return max(1, min(self.num_nodes, int(self.chunk_size)))
+        if self.memory_budget_mb is not None:
+            row_bytes = self.num_significant * embedding_dim * _RANKING_BYTES_PER_SLOT
+            block = int(self.memory_budget_mb * 2**20 // max(1, row_bytes))
+            return max(1, min(self.num_nodes, block))
+        return self.num_nodes
+
     # ------------------------------------------------------------------ #
     # Algorithm 1
     # ------------------------------------------------------------------ #
+    def _top_k_vote_counts(self, embeddings: np.ndarray) -> np.ndarray:
+        """Per-id frequency in the global top-``K`` positions (lines 1–6).
+
+        Blocked over node rows: vote counts are integer sums of independent
+        per-row contributions, so the result is identical for every block
+        size — only the peak memory changes.
+        """
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        block = self._ranking_block(embeddings.shape[1])
+        for start in range(0, self.num_nodes, block):
+            stop = min(start + block, self.num_nodes)
+            rows = self.candidates[start:stop]
+            # Distance of each node in the block to its M candidates.
+            candidate_embeddings = embeddings[rows]  # (block, M, d)
+            distances = np.linalg.norm(
+                candidate_embeddings - embeddings[start:stop, None, :], axis=-1
+            )
+            # Keep each row's K nearest candidates (full argsort matches the
+            # original implementation's tie ordering exactly).
+            order = np.argsort(distances, axis=1)[:, : self.top_k]
+            top_candidates = np.take_along_axis(rows, order, axis=1)
+            counts += np.bincount(top_candidates.reshape(-1), minlength=self.num_nodes)
+        return counts
+
     def sample(self, embeddings: np.ndarray, explore: bool = True) -> np.ndarray:
         """Return the index set ``I`` of the ``M`` most significant neighbours.
 
@@ -86,24 +156,33 @@ class SignificantNeighborsSampling:
             raise ValueError(
                 f"embeddings have {embeddings.shape[0]} rows, expected {self.num_nodes}"
             )
-        # Distance of every node to each of its M candidates (lines 1–4).
-        candidate_embeddings = embeddings[self.candidates]  # (N, M, d)
-        distances = np.linalg.norm(candidate_embeddings - embeddings[:, None, :], axis=-1)
-        # Sort each candidate row by distance (line 5).
-        order = np.argsort(distances, axis=1)
-        sorted_candidates = np.take_along_axis(self.candidates, order, axis=1)
-        # Frequency of node ids in the global top-K positions (line 6).
-        top_candidates = sorted_candidates[:, : self.top_k]
-        counts = np.bincount(top_candidates.reshape(-1), minlength=self.num_nodes)
+        counts = self._top_k_vote_counts(embeddings)
         ranked = np.argsort(-counts, kind="stable")
-        significant = ranked[: self.top_k]
-        remaining_slots = self.num_significant - self.top_k
+        # Only ids that actually received votes are "significant"; when the
+        # candidate rows overlap heavily there may be fewer than M of them,
+        # and the deficit must NOT be padded with zero-count ids in node-id
+        # order (the stable argsort tiebreak) — that silently biased the
+        # index set towards low node ids.
+        voted = ranked[: int(np.count_nonzero(counts))]
+        significant = voted[: self.top_k]
+        remaining_slots = self.num_significant - len(significant)
         if remaining_slots > 0:
             if explore:
                 pool = np.setdiff1d(np.arange(self.num_nodes), significant, assume_unique=False)
                 extra = self._rng.choice(pool, size=remaining_slots, replace=False)
             else:
-                extra = ranked[self.top_k : self.top_k + remaining_slots]
+                extra = voted[self.top_k : self.top_k + remaining_slots]
+                deficit = remaining_slots - len(extra)
+                if deficit > 0:
+                    # No voted ids left: draw the rest uniformly, but from a
+                    # fixed-seed generator so explore=False stays
+                    # deterministic call-to-call.
+                    taken = np.concatenate([significant, extra])
+                    pool = np.setdiff1d(np.arange(self.num_nodes), taken, assume_unique=False)
+                    filler = spawn_rng(self._seed + 0x5EED).choice(
+                        pool, size=deficit, replace=False
+                    )
+                    extra = np.concatenate([extra, filler])
             index_set = np.concatenate([significant, extra])
         else:
             index_set = significant

@@ -1,4 +1,20 @@
-"""Learning-rate schedulers operating on an :class:`~repro.optim.Optimizer`."""
+"""Learning-rate schedulers operating on an :class:`~repro.optim.Optimizer`.
+
+Two properties distinguish these from naive implementations:
+
+* **Chainable updates** — ``step()`` applies the *change* the schedule
+  prescribes for the new epoch to the optimiser's current learning rate,
+  instead of recomputing the absolute value from the ``base_lr`` captured at
+  construction.  Recomputing silently stomped any learning-rate change made
+  in between — by :class:`ReduceLROnPlateau`, or by the user — on the next
+  ``step()``.  Without external changes the chained sequence is identical to
+  the closed form.
+* **Resumable state** — every scheduler implements ``state_dict()`` /
+  ``load_state_dict()`` (including the optimiser's current learning rate),
+  and :func:`repro.utils.checkpoint.save_bundle` can persist the state, so a
+  resumed run continues the schedule where it stopped instead of restarting
+  it from epoch 0.
+"""
 
 from __future__ import annotations
 
@@ -20,6 +36,33 @@ class _Scheduler:
     def lr(self) -> float:
         return self.optimizer.lr
 
+    # ------------------------------------------------------------------ #
+    # Resume
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Everything needed to resume the schedule, optimiser lr included."""
+        state = {k: v for k, v in self.__dict__.items() if k != "optimizer"}
+        state["lr"] = self.optimizer.lr
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict`; unknown keys raise ``KeyError``.
+
+        Validates every key (including ``lr``) before mutating anything, so
+        a mismatched state — say a ``StepLR`` record fed to a
+        ``CosineAnnealingLR`` — leaves both the scheduler and the optimiser
+        untouched instead of half-applied.
+        """
+        state = dict(state)
+        if "lr" not in state:
+            raise KeyError("scheduler state is missing the 'lr' key")
+        unknown = [key for key in state if key != "lr" and key not in self.__dict__]
+        if unknown:
+            raise KeyError(f"unknown scheduler state keys {unknown!r}")
+        self.optimizer.lr = float(state.pop("lr"))
+        for key, value in state.items():
+            setattr(self, key, value)
+
 
 class StepLR(_Scheduler):
     """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
@@ -31,8 +74,8 @@ class StepLR(_Scheduler):
 
     def step(self) -> None:
         self.epoch += 1
-        exponent = self.epoch // self.step_size
-        self.optimizer.lr = self.base_lr * (self.gamma**exponent)
+        if self.epoch % self.step_size == 0:
+            self.optimizer.lr = self.optimizer.lr * self.gamma
 
 
 class MultiStepLR(_Scheduler):
@@ -45,12 +88,21 @@ class MultiStepLR(_Scheduler):
 
     def step(self) -> None:
         self.epoch += 1
-        passed = sum(1 for milestone in self.milestones if self.epoch >= milestone)
-        self.optimizer.lr = self.base_lr * (self.gamma**passed)
+        hits = self.milestones.count(self.epoch)
+        if hits:
+            self.optimizer.lr = self.optimizer.lr * (self.gamma**hits)
 
 
 class CosineAnnealingLR(_Scheduler):
-    """Cosine decay from the base learning rate to ``eta_min`` over ``t_max`` epochs."""
+    """Cosine decay from the base learning rate to ``eta_min`` over ``t_max`` epochs.
+
+    Uses the chainable recurrence
+    ``lr_t = η_min + (lr_{t-1} − η_min) · (1 + cos(πt/T)) / (1 + cos(π(t−1)/T))``,
+    which reproduces the closed-form cosine exactly when the learning rate is
+    never touched from outside, and scales gracefully when it is.  After
+    ``t_max`` steps the learning rate is left where the cosine put it
+    (``eta_min``, unless modified externally).
+    """
 
     def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
         super().__init__(optimizer)
@@ -59,9 +111,12 @@ class CosineAnnealingLR(_Scheduler):
 
     def step(self) -> None:
         self.epoch += 1
-        progress = min(self.epoch, self.t_max) / self.t_max
-        self.optimizer.lr = self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
-            1.0 + math.cos(math.pi * progress)
+        if self.epoch > self.t_max:
+            return
+        previous = 1.0 + math.cos(math.pi * (self.epoch - 1) / self.t_max)
+        current = 1.0 + math.cos(math.pi * self.epoch / self.t_max)
+        self.optimizer.lr = self.eta_min + (self.optimizer.lr - self.eta_min) * (
+            current / previous
         )
 
 

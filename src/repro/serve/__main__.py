@@ -42,6 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="micro-batching: wait for stragglers after the first request")
     parser.add_argument("--no-freeze", action="store_true",
                         help="re-derive the graph on every request (debugging only)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="large-N memory knob: node-block size of the SNS ranking "
+                             "and attention scoring at graph-freeze time")
+    parser.add_argument("--memory-budget-mb", type=float, default=None,
+                        help="large-N memory knob: derive the node blocks from this "
+                             "scratch budget (MiB) instead of --chunk-size")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed of the synthetic request generator")
     return parser
@@ -70,7 +76,12 @@ def main(argv=None) -> int:
         raise SystemExit("--requests must be >= 1")
 
     load_start = time.perf_counter()
-    service = ForecastService.from_checkpoint(args.checkpoint, freeze_graph=not args.no_freeze)
+    service = ForecastService.from_checkpoint(
+        args.checkpoint,
+        freeze_graph=not args.no_freeze,
+        chunk_size=args.chunk_size,
+        memory_budget_mb=args.memory_budget_mb,
+    )
     load_ms = (time.perf_counter() - load_start) * 1000.0
     mode = "frozen-graph" if service.frozen is not None else "full-forward"
     print(f"loaded {args.checkpoint} in {load_ms:.1f} ms ({mode} mode)")

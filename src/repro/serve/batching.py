@@ -24,17 +24,25 @@ _SHUTDOWN = object()
 
 @dataclass
 class BatchStats:
-    """Running counters of the batching worker (O(1) memory, server-lifetime safe)."""
+    """Running counters of the batching worker (O(1) memory, server-lifetime safe).
+
+    Batches whose forward raised are counted too (in ``num_batches`` /
+    ``num_requests`` as well as ``num_failed_batches``), so the counters
+    reflect every batch the worker actually formed, not just the lucky ones.
+    """
 
     num_requests: int = 0
     num_batches: int = 0
     max_batch_size: int = 0
+    num_failed_batches: int = 0
 
-    def record(self, batch_size: int) -> None:
+    def record(self, batch_size: int, failed: bool = False) -> None:
         self.num_requests += batch_size
         self.num_batches += 1
         if batch_size > self.max_batch_size:
             self.max_batch_size = batch_size
+        if failed:
+            self.num_failed_batches += 1
 
     @property
     def mean_batch_size(self) -> float:
@@ -80,6 +88,13 @@ class MicroBatcher:
         self.stats = BatchStats()
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
+        # Serialises submit() against close(): without it a thread could pass
+        # the _closed check, lose the CPU while close() drains and joins the
+        # worker, and then land its window on a dead queue — a Future that
+        # never resolves.  Under the lock a submission either wins (its item
+        # is enqueued *before* the shutdown sentinel, so the worker or the
+        # drain loop is guaranteed to resolve it) or deterministically raises.
+        self._lifecycle = threading.Lock()
         self._worker = threading.Thread(target=self._run, name="microbatcher", daemon=True)
         self._worker.start()
 
@@ -87,11 +102,17 @@ class MicroBatcher:
     # Client side
     # ------------------------------------------------------------------ #
     def submit(self, window: np.ndarray) -> Future:
-        """Enqueue one history window ``(h, N, C)``; resolves to ``(f, N, 1)``."""
-        if self._closed:
-            raise RuntimeError("cannot submit to a closed MicroBatcher")
-        future: Future = Future()
-        self._queue.put((np.asarray(window), future))
+        """Enqueue one history window ``(h, N, C)``; resolves to ``(f, N, 1)``.
+
+        Raises ``RuntimeError`` once :meth:`close` has begun — late
+        submissions are rejected deterministically instead of being dropped.
+        """
+        window = np.asarray(window)
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            future: Future = Future()
+            self._queue.put((window, future))
         return future
 
     def predict(self, window: np.ndarray, timeout: float | None = None) -> np.ndarray:
@@ -99,11 +120,15 @@ class MicroBatcher:
         return self.submit(window).result(timeout=timeout)
 
     def close(self) -> None:
-        """Stop accepting requests, drain the queue and join the worker."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(_SHUTDOWN)
+        """Stop accepting requests, drain the queue and join the worker.
+
+        Safe to call from several threads: every caller joins the worker, so
+        no close() returns while the drain is still mutating stats.
+        """
+        with self._lifecycle:
+            if not self._closed:
+                self._closed = True
+                self._queue.put(_SHUTDOWN)
         self._worker.join()
 
     def __enter__(self) -> "MicroBatcher":
@@ -147,6 +172,7 @@ class MicroBatcher:
             except Exception as error:  # propagate to every waiting client
                 for future in futures:
                     future.set_exception(error)
+                self.stats.record(len(batch), failed=True)
                 continue
             for i, future in enumerate(futures):
                 future.set_result(predictions[i])
@@ -165,3 +191,4 @@ class MicroBatcher:
                 self.stats.record(1)
             except Exception as error:
                 future.set_exception(error)
+                self.stats.record(1, failed=True)

@@ -70,6 +70,21 @@ class ForecastService:
     freeze_graph:
         Set ``False`` to re-derive the graph on every request (slower;
         only useful for debugging parity with the training-time forward).
+    chunk_size / memory_budget_mb:
+        Large-``N`` memory knobs applied to the model's SNS sampler and
+        attention *before* the graph is frozen, overriding whatever the
+        checkpoint was trained with — serving hardware rarely matches
+        training hardware.  The chunked SNS/attention paths are
+        bit-identical to the unchunked ones, so the frozen graph never
+        changes.  An explicit ``chunk_size`` additionally blocks the
+        per-request encoder-decoder aggregation, which matches the
+        unblocked forward to ~1 ulp (not bitwise) — leave ``chunk_size``
+        unset if downstream consumers rely on bit-determinism against an
+        unchunked serve.  ``None`` leaves the model's own setting untouched.
+        Like ``model.eval()`` and the graph freeze, the override mutates the
+        passed model **in place** — the service takes ownership; do not keep
+        training (or build differently-tuned services) over the same
+        instance.
     """
 
     def __init__(
@@ -78,9 +93,12 @@ class ForecastService:
         scaler: StandardScaler | None = None,
         freeze_graph: bool = True,
         config: dict | None = None,
+        chunk_size: int | None = None,
+        memory_budget_mb: float | None = None,
     ):
         self.model = model
         self.scaler = scaler
+        self._apply_memory_knobs(model, chunk_size, memory_budget_mb)
         self.config = config if config is not None else self._config_dict(model)
         model.eval()
         parameters = model.parameters()
@@ -114,6 +132,40 @@ class ForecastService:
     # Construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
+    def _apply_memory_knobs(
+        model: Module, chunk_size: int | None, memory_budget_mb: float | None
+    ) -> None:
+        """Override the model's large-N chunking knobs for this serving host.
+
+        A budget-only override clears any ``chunk_size`` the checkpoint was
+        trained with — ``chunk_size`` takes precedence inside the modules, so
+        leaving it set would silently ignore the requested budget.  An
+        explicit ``chunk_size`` is also pushed into every
+        :class:`~repro.core.gconv.FastGraphConv` of the forecaster, so the
+        per-request encoder-decoder hot path is blocked too (a budget alone
+        cannot size the gconv blocks — their per-row cost depends on the
+        request batch size).
+        """
+        if chunk_size is None and memory_budget_mb is None:
+            return
+        for target in (getattr(model, "sampler", None), getattr(model, "attention", None)):
+            if target is None:
+                continue
+            if chunk_size is not None:
+                target.chunk_size = chunk_size
+                if memory_budget_mb is not None:
+                    target.memory_budget_mb = memory_budget_mb
+            else:
+                target.chunk_size = None
+                target.memory_budget_mb = memory_budget_mb
+        if chunk_size is not None and hasattr(model, "modules"):
+            from repro.core.gconv import FastGraphConv
+
+            for module in model.modules():
+                if isinstance(module, FastGraphConv):
+                    module.node_chunk_size = chunk_size
+
+    @staticmethod
     def _supports_frozen_graph(model: Module) -> bool:
         return hasattr(model, "slim_adjacency") and hasattr(model, "forecaster")
 
@@ -128,17 +180,30 @@ class ForecastService:
 
     @classmethod
     def from_checkpoint(
-        cls, path: str | Path, freeze_graph: bool = True
+        cls,
+        path: str | Path,
+        freeze_graph: bool = True,
+        chunk_size: int | None = None,
+        memory_budget_mb: float | None = None,
     ) -> "ForecastService":
         """Rehydrate a service from a serving bundle written by ``save_bundle``.
 
         The bundle alone is enough: model config, parameters, scaler
         statistics and the SNS sampler state all come out of the archive.
+        ``chunk_size`` / ``memory_budget_mb`` override the bundled model's
+        large-N memory knobs for this host (see :class:`ForecastService`).
         """
         bundle = load_bundle(path)
         model = cls._build_model(bundle)
         scaler = cls._build_scaler(bundle)
-        return cls(model, scaler=scaler, freeze_graph=freeze_graph, config=bundle.config)
+        return cls(
+            model,
+            scaler=scaler,
+            freeze_graph=freeze_graph,
+            config=bundle.config,
+            chunk_size=chunk_size,
+            memory_budget_mb=memory_budget_mb,
+        )
 
     @staticmethod
     def _build_model(bundle: CheckpointBundle) -> Module:

@@ -34,10 +34,18 @@ _METADATA_KEY = "__metadata__"
 _BUNDLE_KEY = "__bundle__"
 _CANDIDATES_KEY = "__sampler_candidates__"
 _INDEX_SET_KEY = "__index_set__"
+_SCHEDULER_KEY = "__scheduler__"
 
 
 def _is_reserved(key: str) -> bool:
     return key.startswith("__") and key.endswith("__")
+
+
+def _json_default(value):
+    """Unwrap numpy scalars for ``json.dumps``; reject anything else."""
+    if isinstance(value, np.generic):
+        return value.item()
+    raise TypeError(f"Object of type {type(value).__name__} is not JSON serializable")
 
 
 def _normalise_path(path: str | Path) -> Path:
@@ -102,6 +110,13 @@ class CheckpointBundle:
         SNS candidate-neighbour matrix ``C`` of shape ``(N, M)``, or ``None``.
     index_set:
         Frozen significant-neighbour index set ``I``, or ``None``.
+    scheduler_state:
+        ``{"type": <scheduler class name>, "state": <scheduler.state_dict()>}``
+        of the learning-rate scheduler active when the bundle was written, or
+        ``None``.  Feed the inner ``state`` to a freshly constructed scheduler
+        of the same type (``scheduler.load_state_dict``) to resume the
+        schedule — epoch counter and current learning rate included — instead
+        of restarting it.
     metadata:
         Free-form user metadata.
     version:
@@ -115,6 +130,7 @@ class CheckpointBundle:
     scaler_state: dict | None = None
     sampler_candidates: np.ndarray | None = None
     index_set: np.ndarray | None = None
+    scheduler_state: dict | None = None
     metadata: dict = field(default_factory=dict)
     version: int = BUNDLE_VERSION
 
@@ -124,6 +140,7 @@ def save_bundle(
     path: str | Path,
     scaler=None,
     metadata: dict | None = None,
+    scheduler=None,
 ) -> Path:
     """Write a self-contained serving bundle for ``model`` to ``path``.
 
@@ -132,7 +149,10 @@ def save_bundle(
     the fitted ``scaler`` statistics, and — when present on the model — the
     SNS sampler candidates and current index set, so that
     :func:`load_bundle` / ``ForecastService.from_checkpoint`` can rebuild
-    the forecaster without any other artefact.
+    the forecaster without any other artefact.  Passing the active
+    learning-rate ``scheduler`` additionally persists its
+    :meth:`~repro.optim.lr_scheduler._Scheduler.state_dict` so a resumed run
+    continues the schedule instead of restarting it.
     """
     path = _normalise_path(path)
     payload = {name: parameter.data for name, parameter in model.named_parameters()}
@@ -172,6 +192,16 @@ def save_bundle(
     index_set = getattr(model, "index_set", None)
     if index_set is not None:
         payload[_INDEX_SET_KEY] = np.asarray(index_set, dtype=np.int64)
+    if scheduler is not None:
+        scheduler_record = {
+            "type": type(scheduler).__name__,
+            "state": scheduler.state_dict(),
+        }
+        # Scheduler state may hold numpy scalars (e.g. a best metric fed from
+        # float32 tensor data); unwrap them so json.dumps does not choke.
+        payload[_SCHEDULER_KEY] = np.array(
+            json.dumps(scheduler_record, default=_json_default)
+        )
 
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **payload)
@@ -197,6 +227,11 @@ def load_bundle(path: str | Path) -> CheckpointBundle:
         state = {name: archive[name] for name in archive.files if not _is_reserved(name)}
         candidates = archive[_CANDIDATES_KEY] if _CANDIDATES_KEY in archive.files else None
         index_set = archive[_INDEX_SET_KEY] if _INDEX_SET_KEY in archive.files else None
+        scheduler_state = (
+            json.loads(str(archive[_SCHEDULER_KEY]))
+            if _SCHEDULER_KEY in archive.files
+            else None
+        )
 
     version = int(info.get("version", 0))
     if version > BUNDLE_VERSION:
@@ -211,6 +246,7 @@ def load_bundle(path: str | Path) -> CheckpointBundle:
         scaler_state=info.get("scaler"),
         sampler_candidates=candidates,
         index_set=index_set,
+        scheduler_state=scheduler_state,
         metadata=metadata,
         version=version,
     )

@@ -103,6 +103,66 @@ class TestSampling:
                               sampler.sample(embeddings, explore=True))
 
 
+class TestSparseVotePadding:
+    """Regression for the low-node-id padding bias.
+
+    When the candidate rows overlap so much that fewer than ``M`` distinct
+    ids receive any top-K vote, the old implementation padded the index set
+    with zero-count ids in *node-id order* (the stable argsort tiebreak) —
+    nodes 0, 1, 2… were systematically promoted to "significant".  The tail
+    must come from the exploration pool instead.
+    """
+
+    def _sparse_vote_sampler(self, seed=0):
+        # Nearly all rows share the same 6 candidates, and ids 28/29 sit so
+        # far out (in opposite directions) that every row's top-4 votes go to
+        # {10, 11, 12, 13} only — 28/29's own rows avoid self-candidates and
+        # get a sixth candidate placed farther away than the central four.
+        num_nodes, m, top_k = 30, 6, 4
+        sampler = SignificantNeighborsSampling(num_nodes, m, top_k, seed=seed)
+        candidates = np.tile(np.array([10, 11, 12, 13, 28, 29]), (num_nodes, 1))
+        candidates[28] = [10, 11, 12, 13, 29, 9]
+        candidates[29] = [10, 11, 12, 13, 28, 8]
+        sampler.candidates = candidates
+        embeddings = np.random.default_rng(1).normal(size=(num_nodes, 3))
+        embeddings[[10, 11, 12, 13]] *= 0.01
+        embeddings[28] = [1e9, 0.0, 0.0]
+        embeddings[29] = [-1e9, 0.0, 0.0]
+        embeddings[9] = [-10.0, 0.0, 0.0]
+        embeddings[8] = [10.0, 0.0, 0.0]
+        return sampler, embeddings
+
+    def test_voted_ids_fill_the_significant_head(self):
+        sampler, embeddings = self._sparse_vote_sampler()
+        index_set = sampler.sample(embeddings, explore=False)
+        assert set(index_set[:4].tolist()) == {10, 11, 12, 13}
+        assert index_set.shape == (6,)
+        assert len(np.unique(index_set)) == 6
+
+    def test_deficit_not_padded_with_low_ids(self):
+        """The old code always padded the tail with nodes [0, 1]; the fixed
+        exploration-pool draw must vary across sampler seeds."""
+        fillers = set()
+        for seed in range(10):
+            sampler, embeddings = self._sparse_vote_sampler(seed=seed)
+            index_set = sampler.sample(embeddings, explore=False)
+            fillers.update(index_set[4:].tolist())
+        assert not fillers <= {0, 1}
+        assert len(fillers) > 4
+
+    def test_deficit_padding_is_deterministic(self):
+        sampler, embeddings = self._sparse_vote_sampler()
+        first = sampler.sample(embeddings, explore=False)
+        second = sampler.sample(embeddings, explore=False)
+        assert np.array_equal(first, second)
+
+    def test_explore_deficit_draws_from_pool(self):
+        sampler, embeddings = self._sparse_vote_sampler()
+        index_set = sampler.sample(embeddings, explore=True)
+        assert set(index_set[:4].tolist()) == {10, 11, 12, 13}
+        assert len(np.unique(index_set)) == 6
+
+
 @settings(max_examples=20, deadline=None)
 @given(st.integers(8, 30), st.integers(2, 8), st.integers(0, 50))
 def test_property_index_set_is_valid_subset(num_nodes, num_significant, seed):
@@ -114,3 +174,30 @@ def test_property_index_set_is_valid_subset(num_nodes, num_significant, seed):
     assert index_set.shape == (num_significant,)
     assert len(np.unique(index_set)) == num_significant
     assert index_set.min() >= 0 and index_set.max() < num_nodes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(8, 40),
+    st.integers(2, 10),
+    st.integers(0, 50),
+    st.integers(1, 13),
+    st.booleans(),
+)
+def test_property_sample_valid_and_chunk_invariant(num_nodes, num_significant, seed,
+                                                   chunk, explore):
+    """`sample` always yields M distinct in-range ids; explore=False is
+    deterministic; and any chunk size reproduces the unchunked result."""
+    num_significant = min(num_significant, num_nodes)
+    top_k = max(1, num_significant - 1)
+    embeddings = np.random.default_rng(seed).normal(size=(num_nodes, 4))
+    plain = SignificantNeighborsSampling(num_nodes, num_significant, top_k, seed=seed)
+    chunked = SignificantNeighborsSampling(num_nodes, num_significant, top_k, seed=seed,
+                                           chunk_size=chunk)
+    index_set = plain.sample(embeddings, explore=explore)
+    assert index_set.shape == (num_significant,)
+    assert len(np.unique(index_set)) == num_significant
+    assert index_set.min() >= 0 and index_set.max() < num_nodes
+    assert np.array_equal(index_set, chunked.sample(embeddings, explore=explore))
+    if not explore:
+        assert np.array_equal(index_set, plain.sample(embeddings, explore=False))

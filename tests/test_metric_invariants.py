@@ -1,0 +1,111 @@
+"""Masked-metric edge cases, shared across the two metric implementations.
+
+``repro.metrics.forecasting`` (one-shot arrays) and
+``repro.evaluation.streaming`` (batch-accumulated sums) must agree on the
+awkward cases: all-null targets, disabled masking (``null_value=None``),
+NaN null values, and the MAPE epsilon floor.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.streaming import StreamingMetrics
+from repro.metrics import mae, mape, metrics_dict, rmse
+from repro.metrics.forecasting import _mask
+
+
+def _streaming_metrics(prediction, target, null_value=0.0, epsilon=1e-5):
+    stream = StreamingMetrics(null_value=null_value, epsilon=epsilon)
+    stream.update(prediction, target)
+    return stream.compute()
+
+
+def _batched(array):
+    """Lift a (f, N) array into the (B, f, N) layout StreamingMetrics wants."""
+    return np.asarray(array)[None]
+
+
+class TestAllNullTargets:
+    def test_direct_metrics_return_nan(self):
+        prediction = np.ones((1, 4, 3))
+        target = np.zeros((1, 4, 3))
+        for metric in (mae, rmse, mape):
+            assert np.isnan(metric(prediction, target, null_value=0.0))
+
+    def test_streaming_returns_nan(self):
+        result = _streaming_metrics(np.ones((1, 4, 3)), np.zeros((1, 4, 3)))
+        assert all(np.isnan(value) for value in result.values())
+
+    def test_streaming_no_batches_returns_nan(self):
+        result = StreamingMetrics().compute()
+        assert all(np.isnan(value) for value in result.values())
+
+    def test_nan_null_value_masks_nans(self):
+        prediction = np.ones((1, 2, 2))
+        target = np.full((1, 2, 2), np.nan)
+        assert np.isnan(mae(prediction, target, null_value=float("nan")))
+        result = _streaming_metrics(prediction, target, null_value=float("nan"))
+        assert np.isnan(result["mae"])
+
+
+class TestNullValueNone:
+    def test_zeros_are_counted(self, rng):
+        prediction = rng.normal(size=(2, 3, 4))
+        target = np.zeros((2, 3, 4))
+        expected = float(np.abs(prediction).mean())
+        assert mae(prediction, target, null_value=None) == pytest.approx(expected)
+        streamed = _streaming_metrics(prediction, target, null_value=None)
+        assert streamed["mae"] == pytest.approx(expected)
+
+    def test_mask_helper_all_true(self):
+        target = np.array([0.0, 1.0, np.nan])
+        assert _mask(target, None).all()
+
+
+class TestMapeEpsilonFloor:
+    def test_tiny_targets_use_epsilon_denominator(self):
+        prediction = np.array([[[2e-6]]])
+        target = np.array([[[1e-6]]])
+        # |p - t| / max(|t|, eps) with eps = 1e-5 -> 1e-6 / 1e-5 = 0.1
+        assert mape(prediction, target, null_value=None) == pytest.approx(0.1)
+        streamed = _streaming_metrics(prediction, target, null_value=None)
+        assert streamed["mape"] == pytest.approx(0.1)
+
+    def test_custom_epsilon_agrees(self):
+        prediction = np.array([[[0.5, 1.0]]])
+        target = np.array([[[1e-3, 2.0]]])
+        direct = mape(prediction, target, null_value=None, epsilon=1e-2)
+        streamed = _streaming_metrics(prediction, target, null_value=None,
+                                      epsilon=1e-2)["mape"]
+        assert streamed == pytest.approx(direct, rel=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 1000),
+    st.sampled_from([0.0, None, float("nan")]),
+    st.integers(1, 4),
+)
+def test_property_streaming_agrees_with_direct(seed, null_value, batches):
+    """Batch-accumulated metrics equal the one-shot computation on the
+    concatenated arrays, for every masking convention."""
+    rng = np.random.default_rng(seed)
+    prediction = rng.normal(size=(2 * batches, 3, 5))
+    target = rng.normal(size=(2 * batches, 3, 5))
+    # sprinkle nulls so masking paths actually trigger
+    null = 0.0 if null_value is None or not np.isnan(null_value) else np.nan
+    target[rng.random(target.shape) < 0.3] = null
+
+    stream = StreamingMetrics(null_value=null_value)
+    for i in range(batches):
+        stream.update(prediction[2 * i : 2 * i + 2], target[2 * i : 2 * i + 2])
+    streamed = stream.compute()
+
+    direct = metrics_dict(prediction, target, null_value=null_value)
+    for key in ("mae", "rmse", "mape"):
+        if np.isnan(direct[key]):
+            assert np.isnan(streamed[key])
+        else:
+            assert streamed[key] == pytest.approx(direct[key], rel=1e-9)

@@ -176,3 +176,175 @@ class TestSchedulers:
         scheduler.step(0.5)
         scheduler.step(0.4)
         assert optimizer.lr == pytest.approx(1.0)
+
+
+class TestSchedulerChaining:
+    """Schedulers must scale the *current* learning rate, not recompute the
+    absolute value from the base_lr captured at construction — recomputing
+    silently reverted any change made by ReduceLROnPlateau or the user."""
+
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.ones(1))], lr=lr)
+
+    def test_step_lr_preserves_external_change(self):
+        optimizer = self._optimizer(lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        scheduler.step()              # epoch 1, no boundary
+        optimizer.lr = 0.1            # plateau/user intervention
+        scheduler.step()              # epoch 2: halve the *current* lr
+        assert optimizer.lr == pytest.approx(0.05)
+        scheduler.step()              # epoch 3, no boundary: must not revert
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_multi_step_lr_preserves_external_change(self):
+        optimizer = self._optimizer(lr=1.0)
+        scheduler = MultiStepLR(optimizer, milestones=[3], gamma=0.1)
+        scheduler.step()
+        optimizer.lr = 0.4
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.4)  # not a milestone: untouched
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.04)
+
+    def test_cosine_scales_external_change(self):
+        optimizer = self._optimizer(lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=10)
+        scheduler.step()
+        before = optimizer.lr
+        optimizer.lr = before / 2.0   # external halving must survive
+        scheduler.step()
+        halved = optimizer.lr
+        reference = self._optimizer(lr=1.0)
+        ref_scheduler = CosineAnnealingLR(reference, t_max=10)
+        ref_scheduler.step()
+        ref_scheduler.step()
+        assert halved == pytest.approx(reference.lr / 2.0)
+
+    def test_cosine_matches_closed_form_without_interference(self):
+        optimizer = self._optimizer(lr=2.0)
+        scheduler = CosineAnnealingLR(optimizer, t_max=7, eta_min=0.2)
+        import math
+        for epoch in range(1, 8):
+            scheduler.step()
+            closed = 0.2 + 0.5 * (2.0 - 0.2) * (1.0 + math.cos(math.pi * epoch / 7))
+            assert optimizer.lr == pytest.approx(closed, rel=1e-12)
+        scheduler.step()  # past t_max: stays at eta_min
+        assert optimizer.lr == pytest.approx(0.2)
+
+    def test_plateau_then_step_lr_compose(self):
+        optimizer = self._optimizer(lr=1.0)
+        step = StepLR(optimizer, step_size=2, gamma=0.5)
+        plateau = ReduceLROnPlateau(optimizer, factor=0.1, patience=0)
+        plateau.step(1.0)
+        plateau.step(2.0)             # worse -> lr * 0.1
+        assert optimizer.lr == pytest.approx(0.1)
+        step.step()                   # epoch 1: no boundary, keeps 0.1
+        assert optimizer.lr == pytest.approx(0.1)
+        step.step()                   # epoch 2: halves the reduced lr
+        assert optimizer.lr == pytest.approx(0.05)
+
+
+class TestSchedulerState:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.ones(1))], lr=lr)
+
+    @pytest.mark.parametrize("factory", [
+        lambda opt: StepLR(opt, step_size=3, gamma=0.5),
+        lambda opt: MultiStepLR(opt, milestones=[2, 5], gamma=0.1),
+        lambda opt: CosineAnnealingLR(opt, t_max=9, eta_min=0.01),
+    ])
+    def test_resume_continues_schedule(self, factory):
+        continuous_opt = self._optimizer()
+        continuous = factory(continuous_opt)
+        trajectory = []
+        for _ in range(8):
+            continuous.step()
+            trajectory.append(continuous_opt.lr)
+
+        interrupted_opt = self._optimizer()
+        interrupted = factory(interrupted_opt)
+        for _ in range(4):
+            interrupted.step()
+        state = interrupted.state_dict()
+
+        resumed_opt = self._optimizer(lr=123.0)  # wrong lr: load must fix it
+        resumed = factory(resumed_opt)
+        resumed.load_state_dict(state)
+        assert resumed_opt.lr == pytest.approx(trajectory[3])
+        assert resumed.epoch == 4
+        resumed_trajectory = []
+        for _ in range(4):
+            resumed.step()
+            resumed_trajectory.append(resumed_opt.lr)
+        assert resumed_trajectory == pytest.approx(trajectory[4:])
+
+    def test_plateau_state_round_trip(self):
+        optimizer = self._optimizer()
+        scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=2)
+        scheduler.step(1.0)
+        scheduler.step(2.0)
+        state = scheduler.state_dict()
+        assert state["best"] == pytest.approx(1.0)
+        assert state["bad_epochs"] == 1
+
+        fresh = ReduceLROnPlateau(self._optimizer(), factor=0.5, patience=2)
+        fresh.load_state_dict(state)
+        fresh.step(3.0)               # second bad epoch stays within patience
+        assert fresh.optimizer.lr == pytest.approx(1.0)
+        fresh.step(3.0)               # third exceeds patience -> halve
+        assert fresh.optimizer.lr == pytest.approx(0.5)
+
+    def test_unknown_state_key_raises(self):
+        scheduler = StepLR(self._optimizer(), step_size=2)
+        with pytest.raises(KeyError):
+            scheduler.load_state_dict({"lr": 1.0, "bogus": 3})
+
+    def test_mismatched_state_leaves_scheduler_untouched(self):
+        source = CosineAnnealingLR(self._optimizer(lr=0.5), t_max=4)
+        source.step()
+        state = source.state_dict()
+        target = StepLR(self._optimizer(lr=1.0), step_size=2)
+        with pytest.raises(KeyError):
+            target.load_state_dict(state)  # t_max/eta_min are foreign keys
+        assert target.optimizer.lr == pytest.approx(1.0)  # nothing half-applied
+        assert target.epoch == 0
+
+    def test_bundle_round_trip(self, tmp_path):
+        from repro.nn import Linear
+        from repro.utils.checkpoint import load_bundle, save_bundle
+
+        model = Linear(3, 2, seed=0)
+        optimizer = SGD(model.parameters(), lr=1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        for _ in range(3):
+            scheduler.step()
+        path = save_bundle(model, tmp_path / "bundle", scheduler=scheduler)
+        bundle = load_bundle(path)
+        assert bundle.scheduler_state["type"] == "StepLR"
+
+        resumed = StepLR(SGD(model.parameters(), lr=99.0), step_size=2, gamma=0.5)
+        resumed.load_state_dict(bundle.scheduler_state["state"])
+        assert resumed.epoch == 3
+        assert resumed.optimizer.lr == pytest.approx(0.5)
+        resumed.step()
+        assert resumed.optimizer.lr == pytest.approx(0.25)
+
+    def test_bundle_without_scheduler_is_none(self, tmp_path):
+        from repro.nn import Linear
+        from repro.utils.checkpoint import load_bundle, save_bundle
+
+        path = save_bundle(Linear(2, 1, seed=0), tmp_path / "plain")
+        assert load_bundle(path).scheduler_state is None
+
+    def test_bundle_handles_numpy_scalar_state(self, tmp_path):
+        """A best-metric fed from float32 tensor data lands in the scheduler
+        state as a numpy scalar; bundling must not crash on it."""
+        from repro.nn import Linear
+        from repro.utils.checkpoint import load_bundle, save_bundle
+
+        model = Linear(2, 1, seed=0)
+        scheduler = ReduceLROnPlateau(SGD(model.parameters(), lr=1.0))
+        scheduler.step(np.float32(0.75))
+        path = save_bundle(model, tmp_path / "np_state", scheduler=scheduler)
+        state = load_bundle(path).scheduler_state["state"]
+        assert state["best"] == pytest.approx(0.75)

@@ -31,6 +31,9 @@ def tiny_report(run_perf, tmp_path_factory):
             "--ffn-hidden", "4",
             "--hidden", "4",
             "--repeats", "1",
+            "--scaling-sizes", "24", "48",
+            "--scaling-embedding-dim", "4",
+            "--scaling-budget-mb", "8",
             "--output", str(output),
         ]
     )
@@ -72,6 +75,56 @@ class TestPerfRunner:
             assert entry["latency_p95_ms"] >= entry["latency_p50_ms"]
             assert entry["throughput_rps"] > 0
 
+    def test_scaling_section_present_and_sane(self, tiny_report):
+        report, _ = tiny_report
+        scaling = report["scaling"]
+        assert scaling["memory_budget_mb"] == 8.0
+        node_counts = [entry["num_nodes"] for entry in scaling["results"]]
+        assert node_counts == [24, 48]
+        for entry in scaling["results"]:
+            assert entry["wall_ms"] > 0
+            assert entry["peak_mem_mb"] > 0
+            assert entry["peak_rss_mb"] > 0
+            # at test scale the unchunked path always runs: bit-identity holds
+            assert entry["chunked_equals_unchunked"] is True
+            assert entry["unchunked_peak_mem_mb"] > 0
+
+    def test_scaling_only_mode(self, run_perf, tmp_path):
+        output = tmp_path / "scaling.json"
+        report = run_perf.main(
+            [
+                "--scaling-only",
+                "--scaling-sizes", "24",
+                "--scaling-embedding-dim", "4",
+                "--m", "6",
+                "--heads", "2",
+                "--ffn-hidden", "4",
+                "--repeats", "1",
+                "--assert-scaling-peak-mb", "512",
+                "--output", str(output),
+            ]
+        )
+        assert report["benchmark"] == "attention-scaling"
+        on_disk = json.loads(output.read_text())
+        assert "results" not in on_disk  # only the scaling section is written
+        run_perf.validate_scaling(on_disk["scaling"])
+
+    def test_scaling_peak_assertion_fails_when_exceeded(self, run_perf, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                [
+                    "--scaling-only",
+                    "--scaling-sizes", "24",
+                    "--scaling-embedding-dim", "4",
+                    "--m", "6",
+                    "--heads", "2",
+                    "--ffn-hidden", "4",
+                    "--repeats", "1",
+                    "--assert-scaling-peak-mb", "0.0001",
+                    "--output", str(tmp_path / "scaling.json"),
+                ]
+            )
+
     def test_schema_validator_rejects_missing_keys(self, run_perf):
         with pytest.raises(ValueError):
             run_perf.validate_schema({"benchmark": "attention"})
@@ -89,14 +142,24 @@ class TestPerfRunner:
             run_perf.validate_schema(
                 {
                     "benchmark": "attention",
-                    "schema_version": 2,
+                    "schema_version": 3,
                     "config": {},
                     "attention_speedup_vs_seed": {},
                     "serve": {"results": []},
+                    "scaling": {"memory_budget_mb": 1.0, "results": [{}]},
                     "results": [{"num_nodes": 1, "num_significant": 1, "dtype": "float32",
                                  "attention_vectorized_ms": 1.0, "gconv_ms": 1.0}],
                 }
             )
+
+    def test_scaling_validator_rejects_divergence(self, run_perf):
+        entry = {
+            "num_nodes": 10, "num_significant": 4, "dtype": "float32",
+            "wall_ms": 1.0, "peak_mem_mb": 1.0, "peak_rss_mb": 1.0,
+            "within_budget": True, "chunked_equals_unchunked": False,
+        }
+        with pytest.raises(ValueError, match="diverged"):
+            run_perf.validate_scaling({"memory_budget_mb": 1.0, "results": [entry]})
 
     def test_checked_in_bench_json_is_valid(self, run_perf):
         """The committed BENCH_attention.json must satisfy the current schema."""

@@ -177,12 +177,55 @@ class TestMicroBatcher:
             with pytest.raises(RuntimeError, match="model exploded"):
                 future.result(timeout=30)
 
+    def test_failed_batches_are_recorded_in_stats(self):
+        def broken(batch):
+            raise RuntimeError("model exploded")
+
+        batcher = MicroBatcher(broken, max_batch=4, max_wait_ms=50.0)
+        try:
+            futures = [batcher.submit(np.zeros((1, 1, 1))) for _ in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError):
+                    future.result(timeout=30)
+        finally:
+            batcher.close()
+        stats = batcher.stats
+        assert stats.num_requests == 3
+        assert stats.num_batches >= 1
+        assert stats.num_failed_batches == stats.num_batches
+        assert stats.mean_batch_size > 0
+
     def test_submit_after_close_raises(self):
         batcher = MicroBatcher(lambda batch: batch, max_batch=2, max_wait_ms=0.0)
         batcher.close()
         with pytest.raises(RuntimeError):
             batcher.submit(np.zeros((1, 1, 1)))
         batcher.close()  # idempotent
+
+    def test_submit_close_race_never_drops_a_future(self):
+        """Hammer submit() against close(): every submission must either be
+        rejected with RuntimeError or produce a Future that resolves — a
+        Future that never resolves means the window landed on a dead queue."""
+        for round_ in range(20):
+            batcher = MicroBatcher(lambda batch: batch * 2.0, max_batch=4,
+                                   max_wait_ms=0.0)
+            outcomes = []
+
+            def client():
+                try:
+                    outcomes.append(batcher.submit(np.ones((1, 1, 1))))
+                except RuntimeError:
+                    outcomes.append(None)
+
+            threads = [threading.Thread(target=client) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            batcher.close()
+            for thread in threads:
+                thread.join()
+            for future in outcomes:
+                if future is not None:
+                    assert np.allclose(future.result(timeout=5), 2.0)
 
     def test_invalid_configuration(self):
         with pytest.raises(ValueError):
