@@ -13,7 +13,14 @@ Times the three costs that dominate SAGDFN training at Table VI/VII scales
 * ``scaling`` — the memory-bounded large-N pathway: wall time and peak
   memory (tracemalloc + RSS high watermark) of one chunked SNS + attention
   forward at N ∈ {500, 2000, 5000, 10000}, with a bit-identity check against
-  the unchunked path at every N where both are run.
+  the unchunked path at every N where both are run;
+* ``recurrence`` — the fused encoder–decoder hot path (schema v4): frozen-
+  graph forward wall time of the pre-fusion per-gate reference loop, the
+  fused autograd forward and the no-grad serving kernel (plus per-step
+  times and max relative deviations), and the serve throughput-vs-batch
+  curve of the kernel.  ``--assert-recurrence-speedup`` /
+  ``--assert-serve-batch-growth`` gate CI on the fused speedup and on the
+  batch-8-vs-batch-1 throughput ratio.
 
 Results are written as JSON (default: ``BENCH_attention.json`` at the repo
 root) so subsequent PRs have a perf trajectory to compare against::
@@ -58,10 +65,12 @@ from repro.optim import Adam, clip_grad_norm
 from repro.serve import ForecastService
 from repro.tensor import Tensor, default_dtype, no_grad
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 DEFAULT_SIZES = (200, 2000)
 SCALING_SIZES = (500, 2000, 5000, 10000)
 SERVE_BATCH_SIZES = (1, 8, 32)
+RECURRENCE_HISTORY = 12
+RECURRENCE_HORIZON = 12
 
 
 def _peak_rss_mb() -> float:
@@ -212,6 +221,165 @@ def bench_serve(num_nodes: int, m: int, heads: int, embedding_dim: int,
         }
 
 
+def bench_recurrence(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
+                     dtype: str = "float32", history: int = RECURRENCE_HISTORY,
+                     horizon: int = RECURRENCE_HORIZON,
+                     batch_sizes=SERVE_BATCH_SIZES) -> dict:
+    """Fused encoder–decoder hot path over a frozen graph (schema v4).
+
+    For each ``N`` builds a SAGDFN, freezes its graph into a
+    :class:`ForecastService`, and times the ``history + horizon``-step
+    recurrence three ways on the same batch-1 window:
+
+    * ``reference_ms`` — :meth:`forward_reference`, the pre-fusion per-gate
+      concat loop (the seed implementation's math and cost);
+    * ``fused_ms`` — the fused autograd forward (shared diffusion states,
+      gate fusion, input-side precompute);
+    * ``kernel_ms`` — the raw-ndarray no-grad serving kernel behind
+      ``service.predict`` (the per-request production path);
+    * ``train_*_ms`` — the same fused-vs-reference comparison through
+      forward *plus* backward (the training direction, where the fused
+      path's smaller autograd graph also pays).
+
+    The recorded ``max_rel_diff_*`` values document the ≤1e-10 equivalence
+    of both fast paths against the reference.  The serve throughput-vs-batch
+    curve replays ``service.predict`` at growing batch sizes
+    (``throughput_batch8_over_batch1`` summarises it; on a single-core host
+    the curve is roughly flat because every op already saturates the core at
+    batch 1 — multi-core BLAS bends it upward).
+    """
+    entries = []
+    serve_curve = []
+    with default_dtype(dtype):
+        for num_nodes in sizes:
+            m_eff = min(m, num_nodes)
+            rng = np.random.default_rng(0)
+            config = SAGDFNConfig(
+                num_nodes=num_nodes, history=history, horizon=horizon,
+                embedding_dim=embedding_dim, num_significant=m_eff,
+                top_k=max(1, int(m_eff * 0.8)), hidden_size=hidden,
+                num_heads=heads, ffn_hidden=ffn_hidden, seed=0,
+            )
+            model = SAGDFN(config)
+            model.refresh_graph(0)
+            service = ForecastService(model)
+            forecaster = model.forecaster
+            adjacency = service._adjacency_tensor
+            degree_scale = service._degree_scale_tensor
+            index_set = service.frozen.index_set
+            window = rng.normal(size=(1, history, num_nodes, config.input_dim))
+            x = Tensor(window)
+
+            with no_grad():
+                reference = forecaster.forward_reference(
+                    x, adjacency, index_set, degree_scale=degree_scale
+                ).data
+                fused = forecaster(
+                    x, adjacency, index_set, degree_scale=degree_scale
+                ).data
+            kernel = service.predict(window)
+            scale_ref = np.abs(reference).max()
+
+            def time_no_grad(fn):
+                with no_grad():
+                    return _time(fn, repeats)
+
+            reference_ms = time_no_grad(
+                lambda: forecaster.forward_reference(
+                    x, adjacency, index_set, degree_scale=degree_scale
+                )
+            )
+            fused_ms = time_no_grad(
+                lambda: forecaster(x, adjacency, index_set, degree_scale=degree_scale)
+            )
+            kernel_ms = _time(lambda: service.predict(window), repeats)
+
+            def train_direction(forward):
+                model.zero_grad()
+                forward(x, adjacency, index_set, degree_scale=degree_scale).sum().backward()
+
+            model.train()
+            train_fused_ms = _time(lambda: train_direction(forecaster.forward), repeats)
+            train_reference_ms = _time(
+                lambda: train_direction(forecaster.forward_reference), repeats
+            )
+            model.eval()
+            steps = history + horizon
+            entry = {
+                "num_nodes": int(num_nodes),
+                "num_significant": int(m_eff),
+                "dtype": dtype,
+                "steps": int(steps),
+                "reference_ms": reference_ms,
+                "fused_ms": fused_ms,
+                "kernel_ms": kernel_ms,
+                "fused_speedup": reference_ms / fused_ms,
+                "kernel_speedup": reference_ms / kernel_ms,
+                "train_fused_ms": train_fused_ms,
+                "train_reference_ms": train_reference_ms,
+                "train_speedup": train_reference_ms / train_fused_ms,
+                "per_step_reference_ms": reference_ms / steps,
+                "per_step_fused_ms": fused_ms / steps,
+                "per_step_kernel_ms": kernel_ms / steps,
+                "max_rel_diff_fused": float(np.abs(fused - reference).max() / scale_ref),
+                "max_rel_diff_kernel": float(np.abs(kernel - reference).max() / scale_ref),
+            }
+            entries.append(entry)
+            print(
+                f"recurrence N={num_nodes:>6} M={m_eff:>3} {dtype}: "
+                f"reference {reference_ms:.1f} ms, fused {fused_ms:.1f} ms "
+                f"({entry['fused_speedup']:.2f}x), kernel {kernel_ms:.1f} ms "
+                f"({entry['kernel_speedup']:.2f}x), train fwd+bwd "
+                f"{train_reference_ms:.0f}->{train_fused_ms:.0f} ms "
+                f"({entry['train_speedup']:.2f}x), "
+                f"rel diff fused {entry['max_rel_diff_fused']:.2e} "
+                f"kernel {entry['max_rel_diff_kernel']:.2e}",
+                flush=True,
+            )
+
+            if num_nodes == max(sizes):
+                samples = max(5, repeats)
+                for batch_size in batch_sizes:
+                    windows = rng.normal(
+                        size=(batch_size, history, num_nodes, config.input_dim)
+                    )
+                    service.predict(windows)  # warm-up (allocates the workspace)
+                    latencies = []
+                    for _ in range(samples):
+                        start = time.perf_counter()
+                        service.predict(windows)
+                        latencies.append((time.perf_counter() - start) * 1000.0)
+                    p50 = float(np.percentile(latencies, 50))
+                    serve_curve.append(
+                        {
+                            "batch_size": int(batch_size),
+                            "latency_p50_ms": p50,
+                            "throughput_rps": batch_size / (p50 / 1000.0)
+                            if p50 > 0 else float("inf"),
+                        }
+                    )
+                    print(
+                        f"recurrence serve N={num_nodes:>6} batch={batch_size:>3}: "
+                        f"p50 {p50:.2f} ms, "
+                        f"{serve_curve[-1]['throughput_rps']:.1f} req/s",
+                        flush=True,
+                    )
+
+    by_batch = {entry["batch_size"]: entry["throughput_rps"] for entry in serve_curve}
+    growth = None
+    if 1 in by_batch and 8 in by_batch and by_batch[1] > 0:
+        growth = by_batch[8] / by_batch[1]
+    return {
+        "history": int(history),
+        "horizon": int(horizon),
+        "hidden_size": int(hidden),
+        "dtype": dtype,
+        "results": entries,
+        "serve_throughput": serve_curve,
+        "throughput_batch8_over_batch1": growth,
+    }
+
+
 def bench_scaling(sizes, m, heads, embedding_dim, ffn_hidden, repeats,
                   memory_budget_mb, equivalence_max_n, dtype: str = "float32") -> dict:
     """Memory-bounded SNS + attention forward at growing N.
@@ -307,7 +475,8 @@ def bench_scaling(sizes, m, heads, embedding_dim, ffn_hidden, repeats,
 
 def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         train_step_max_n, scaling_sizes=SCALING_SIZES, scaling_budget_mb=64.0,
-        scaling_embedding_dim=64, scaling_equivalence_max_n=10_000) -> dict:
+        scaling_embedding_dim=64, scaling_equivalence_max_n=10_000,
+        recurrence_sizes=None) -> dict:
     results = []
     for num_nodes in sizes:
         m_eff = min(m, num_nodes)
@@ -367,6 +536,13 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
                             ffn_hidden, repeats, scaling_budget_mb,
                             scaling_equivalence_max_n)
 
+    # Fused recurrence hot path: reference vs fused vs serving kernel, plus
+    # the kernel's throughput-vs-batch curve.
+    if recurrence_sizes is None:
+        recurrence_sizes = [max(sizes)]
+    recurrence = bench_recurrence(recurrence_sizes, m, heads, embedding_dim,
+                                  ffn_hidden, hidden, repeats)
+
     return {
         "benchmark": "attention",
         "schema_version": SCHEMA_VERSION,
@@ -382,6 +558,7 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         "attention_speedup_vs_seed": headline,
         "serve": serve,
         "scaling": scaling,
+        "recurrence": recurrence,
         "results": results,
     }
 
@@ -405,10 +582,32 @@ def validate_scaling(section: dict) -> None:
             )
 
 
+def validate_recurrence(section: dict) -> None:
+    """Raise ``ValueError`` if ``section`` is not a valid recurrence section."""
+    if not isinstance(section, dict) or not section.get("results"):
+        raise ValueError("recurrence section must hold a non-empty results list")
+    for key in ("history", "horizon", "serve_throughput",
+                "throughput_batch8_over_batch1"):
+        if key not in section:
+            raise ValueError(f"recurrence section missing key {key!r}")
+    for entry in section["results"]:
+        for key in ("num_nodes", "dtype", "steps", "reference_ms", "fused_ms",
+                    "kernel_ms", "fused_speedup", "kernel_speedup",
+                    "train_fused_ms", "train_reference_ms", "train_speedup",
+                    "per_step_fused_ms", "per_step_kernel_ms",
+                    "max_rel_diff_fused", "max_rel_diff_kernel"):
+            if key not in entry:
+                raise ValueError(f"recurrence entry missing key {key!r}: {entry}")
+    for entry in section["serve_throughput"]:
+        for key in ("batch_size", "latency_p50_ms", "throughput_rps"):
+            if key not in entry:
+                raise ValueError(f"recurrence serve entry missing key {key!r}: {entry}")
+
+
 def validate_schema(report: dict) -> None:
     """Raise ``ValueError`` if ``report`` is not a valid benchmark report."""
     for key in ("benchmark", "schema_version", "config", "results",
-                "attention_speedup_vs_seed", "serve", "scaling"):
+                "attention_speedup_vs_seed", "serve", "scaling", "recurrence"):
         if key not in report:
             raise ValueError(f"missing top-level key {key!r}")
     if not isinstance(report["results"], list) or not report["results"]:
@@ -428,6 +627,7 @@ def validate_schema(report: dict) -> None:
             if key not in entry:
                 raise ValueError(f"serve entry missing key {key!r}: {entry}")
     validate_scaling(report["scaling"])
+    validate_recurrence(report["recurrence"])
 
 
 def main(argv=None) -> dict:
@@ -459,6 +659,17 @@ def main(argv=None) -> dict:
     parser.add_argument("--assert-scaling-peak-mb", type=float, default=None,
                         help="exit non-zero if any scaling entry's tracemalloc peak "
                              "exceeds this many MiB")
+    parser.add_argument("--recurrence-sizes", type=int, nargs="+", default=None,
+                        help="node counts of the fused-recurrence bench "
+                             "(default: the largest of --sizes)")
+    parser.add_argument("--recurrence-only", action="store_true",
+                        help="run (and write) only the recurrence section")
+    parser.add_argument("--assert-recurrence-speedup", type=float, default=None,
+                        help="exit non-zero if the serving-kernel-vs-reference "
+                             "speedup of any recurrence entry is below this factor")
+    parser.add_argument("--assert-serve-batch-growth", type=float, default=None,
+                        help="exit non-zero if serve throughput at batch 8 is not "
+                             "at least this multiple of the batch-1 throughput")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: smallest N only, single repeat")
     parser.add_argument("--output", type=Path, default=None,
@@ -470,18 +681,35 @@ def main(argv=None) -> dict:
 
     if any(size < 1 for size in args.sizes + args.scaling_sizes):
         parser.error("--sizes/--scaling-sizes values must be positive node counts")
+    if args.recurrence_sizes is not None and any(s < 1 for s in args.recurrence_sizes):
+        parser.error("--recurrence-sizes values must be positive node counts")
     if args.m < 1 or args.repeats < 1:
         parser.error("--m and --repeats must be >= 1")
+    if args.scaling_only and args.recurrence_only:
+        parser.error("--scaling-only and --recurrence-only are mutually exclusive")
+    if args.scaling_only and (args.assert_recurrence_speedup is not None
+                              or args.assert_serve_batch_growth is not None):
+        parser.error("recurrence assertions require the recurrence section "
+                     "(drop --scaling-only)")
+    if args.recurrence_only and args.assert_scaling_peak_mb is not None:
+        parser.error("--assert-scaling-peak-mb requires the scaling section "
+                     "(drop --recurrence-only)")
 
     if args.smoke:
         args.sizes = [min(args.sizes)]
         args.scaling_sizes = [min(args.scaling_sizes)]
+        if args.recurrence_sizes is not None:
+            args.recurrence_sizes = [min(args.recurrence_sizes)]
         args.repeats = 1
 
     if args.output is None:
-        args.output = REPO_ROOT / (
-            "BENCH_scaling.json" if args.scaling_only else "BENCH_attention.json"
-        )
+        if args.scaling_only:
+            default_name = "BENCH_scaling.json"
+        elif args.recurrence_only:
+            default_name = "BENCH_recurrence.json"
+        else:
+            default_name = "BENCH_attention.json"
+        args.output = REPO_ROOT / default_name
 
     if args.scaling_only:
         scaling = bench_scaling(args.scaling_sizes, args.m, args.heads,
@@ -493,13 +721,24 @@ def main(argv=None) -> dict:
             "schema_version": SCHEMA_VERSION,
             "scaling": scaling,
         }
+    elif args.recurrence_only:
+        recurrence = bench_recurrence(
+            args.recurrence_sizes or [max(args.sizes)], args.m, args.heads,
+            args.embedding_dim, args.ffn_hidden, args.hidden, args.repeats,
+        )
+        report = {
+            "benchmark": "attention-recurrence",
+            "schema_version": SCHEMA_VERSION,
+            "recurrence": recurrence,
+        }
     else:
         report = run(args.sizes, args.m, args.heads, args.embedding_dim,
                      args.ffn_hidden, args.hidden, args.repeats, args.train_step_max_n,
                      scaling_sizes=args.scaling_sizes,
                      scaling_budget_mb=args.scaling_budget_mb,
                      scaling_embedding_dim=args.scaling_embedding_dim,
-                     scaling_equivalence_max_n=args.scaling_equivalence_max_n)
+                     scaling_equivalence_max_n=args.scaling_equivalence_max_n,
+                     recurrence_sizes=args.recurrence_sizes)
 
     # Write the report before any gate (schema validation, the bitwise
     # divergence check inside it, the peak assertion): a failing gate in CI
@@ -509,6 +748,8 @@ def main(argv=None) -> dict:
 
     if args.scaling_only:
         validate_scaling(report["scaling"])
+    elif args.recurrence_only:
+        validate_recurrence(report["recurrence"])
     else:
         validate_schema(report)
 
@@ -521,6 +762,29 @@ def main(argv=None) -> dict:
                     f"{args.assert_scaling_peak_mb} MiB assertion"
                 )
         print(f"scaling peak assertion (<= {args.assert_scaling_peak_mb} MiB) ok")
+
+    if args.assert_recurrence_speedup is not None:
+        for entry in report["recurrence"]["results"]:
+            if entry["kernel_speedup"] < args.assert_recurrence_speedup:
+                raise SystemExit(
+                    f"serving-kernel recurrence speedup "
+                    f"{entry['kernel_speedup']:.2f}x at "
+                    f"N={entry['num_nodes']} is below the "
+                    f"{args.assert_recurrence_speedup}x assertion"
+                )
+        print(
+            f"recurrence speedup assertion (>= {args.assert_recurrence_speedup}x) ok"
+        )
+    if args.assert_serve_batch_growth is not None:
+        growth = report["recurrence"]["throughput_batch8_over_batch1"]
+        if growth is None or growth < args.assert_serve_batch_growth:
+            raise SystemExit(
+                f"serve throughput at batch 8 is {growth!r}x the batch-1 "
+                f"throughput, below the {args.assert_serve_batch_growth}x assertion"
+            )
+        print(
+            f"serve batch-growth assertion (>= {args.assert_serve_batch_growth}x) ok"
+        )
     return report
 
 

@@ -11,6 +11,21 @@ over either the slim ``(N, M)`` adjacency (SAGDFN) or a dense ``(N, N)``
 support (the "w/o SNS & SSMA" ablation and predefined-graph baselines).
 :class:`OneStepFastGConvCell` replaces every matrix multiplication of a GRU
 cell with this operator, yielding the recurrent unit of Eq. 10.
+
+The cell's hot path is **fused**: the reset and update gates historically ran
+two independent convolutions over the same ``concat([x, hidden])`` input —
+paying the ``O(B·N·M·d)`` diffusion aggregation twice — and the candidate
+paid it a third time.  The current layout stores both gates as a single
+:class:`FastGraphConv` of doubled output width (``self.gates``), and exploits
+the channel-wise linearity of the aggregation
+(``agg(concat(x, h)) ≡ concat(agg(x), agg(h))``) to drop the per-step
+``concat`` allocations entirely: every hop weight is split into its
+input-side and hidden-side row blocks, the input diffusion states are
+computed once (and may be *precomputed for a whole sequence* by the
+encoder — see :meth:`FastGraphConv.diffusion_states`), and the per-step
+recurrence only aggregates the hidden state.  :meth:`forward_reference`
+retains the original concat-based math for equivalence testing and as the
+perf baseline.
 """
 
 from __future__ import annotations
@@ -21,6 +36,17 @@ from repro.nn import init
 from repro.nn.module import Module, Parameter
 from repro.tensor import Tensor, concat
 from repro.utils.seed import spawn_rng
+
+
+def as_index_array(index_set: np.ndarray | None) -> np.ndarray | None:
+    """Coerce an index set to ``int64`` once (no-op for int64 arrays).
+
+    Hot loops call this at their entry point and pass the result down, so
+    the conversion is not redone per hop / per gate / per time step.
+    """
+    if index_set is None:
+        return None
+    return np.asarray(index_set, dtype=np.int64)
 
 
 class FastGraphConv(Module):
@@ -52,6 +78,66 @@ class FastGraphConv(Module):
         ]
         self.bias = Parameter(np.zeros(output_dim), name="bias")
 
+    # ------------------------------------------------------------------ #
+    # Diffusion states (weight-independent part of the convolution)
+    # ------------------------------------------------------------------ #
+    def diffusion_states(
+        self,
+        x: Tensor,
+        adjacency: Tensor,
+        index_set: np.ndarray | None = None,
+        degree_scale: Tensor | None = None,
+    ) -> list[Tensor]:
+        """The ``J`` diffusion states ``[(D+I)^{-1}(A_s X_I + X)]^j X``.
+
+        The states depend only on the graph (adjacency / index set / degree
+        scale) and the signal ``x`` — not on this layer's weights — so one
+        state computation can feed several weight applications (the fused
+        GRU gates), and a whole input sequence can be diffused in one
+        batched call by folding the time axis into the batch axis before
+        calling this.
+
+        Honors ``node_chunk_size`` exactly like :meth:`forward`.
+        """
+        if degree_scale is not None:
+            scale = degree_scale
+        else:
+            # (D + I)^{-1}, differentiable so the slim adjacency also receives
+            # gradients through the degree normalisation (Eq. 9).
+            scale = 1.0 / (adjacency.sum(axis=-1, keepdims=True) + 1.0)
+
+        index_set = as_index_array(index_set)
+        num_nodes = x.shape[-2]
+        chunk = self.node_chunk_size
+        states = [x]
+        current = x
+        for _ in range(1, self.diffusion_steps):
+            if index_set is not None:
+                gathered = current[..., index_set, :]
+            else:
+                gathered = current
+            if chunk is not None and chunk < num_nodes:
+                current = concat(
+                    [
+                        (adjacency[start : start + chunk].matmul(gathered)
+                         + current[..., start : start + chunk, :])
+                        * scale[start : start + chunk]
+                        for start in range(0, num_nodes, chunk)
+                    ],
+                    axis=-2,
+                )
+            else:
+                current = (adjacency.matmul(gathered) + current) * scale
+            states.append(current)
+        return states
+
+    def apply_states(self, states: list[Tensor]) -> Tensor:
+        """Project precomputed diffusion states: ``Σ_j states[j] W_j + b``."""
+        output = states[0].matmul(self.hop_weights[0])
+        for state, hop_weight in zip(states[1:], self.hop_weights[1:]):
+            output = output + state.matmul(hop_weight)
+        return output + self.bias
+
     def forward(
         self,
         x: Tensor,
@@ -81,36 +167,9 @@ class FastGraphConv(Module):
         """
         if x.shape[-1] != self.input_dim:
             raise ValueError(f"expected last dimension {self.input_dim}, got {x.shape}")
-        if degree_scale is not None:
-            scale = degree_scale
-        else:
-            # (D + I)^{-1}, differentiable so the slim adjacency also receives
-            # gradients through the degree normalisation (Eq. 9).
-            scale = 1.0 / (adjacency.sum(axis=-1, keepdims=True) + 1.0)
-
-        num_nodes = x.shape[-2]
-        chunk = self.node_chunk_size
-        current = x
-        output = current.matmul(self.hop_weights[0])
-        for hop_weight in self.hop_weights[1:]:
-            if index_set is not None:
-                gathered = current[..., np.asarray(index_set, dtype=np.int64), :]
-            else:
-                gathered = current
-            if chunk is not None and chunk < num_nodes:
-                current = concat(
-                    [
-                        (adjacency[start : start + chunk].matmul(gathered)
-                         + current[..., start : start + chunk, :])
-                        * scale[start : start + chunk]
-                        for start in range(0, num_nodes, chunk)
-                    ],
-                    axis=-2,
-                )
-            else:
-                current = (adjacency.matmul(gathered) + current) * scale
-            output = output + current.matmul(hop_weight)
-        return output + self.bias
+        return self.apply_states(
+            self.diffusion_states(x, adjacency, index_set, degree_scale)
+        )
 
 
 class OneStepFastGConvCell(Module):
@@ -120,6 +179,19 @@ class OneStepFastGConvCell(Module):
     ``(batch, N, channels)`` and a hidden state of shape
     ``(batch, N, hidden)``; it also produces the one-step-ahead prediction
     ``X̂_t = H_t W_x`` used by the decoder.
+
+    Parameterisation
+    ----------------
+    ``self.gates`` holds the reset *and* update gates as one
+    :class:`FastGraphConv` over the concatenated ``[x, hidden]`` input with
+    ``2·hidden`` output columns (reset in ``[:hidden]``, update in
+    ``[hidden:]``) — the two gates consume the same input, so they share a
+    single diffusion-state computation.  ``self.candidate`` keeps the
+    historical layout.  Fresh cells initialise **bit-identically** to the
+    legacy per-gate layout: the fused hop weights are assembled from the
+    exact same seeded draws the separate ``reset_gate`` / ``update_gate``
+    convolutions used, and legacy checkpoints are migrated transparently by
+    :meth:`_upgrade_state_dict`.
     """
 
     def __init__(
@@ -137,10 +209,22 @@ class OneStepFastGConvCell(Module):
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
         self.output_dim = output_dim
-        self.reset_gate = FastGraphConv(combined, hidden_dim, diffusion_steps, seed=base,
-                                        node_chunk_size=node_chunk_size)
-        self.update_gate = FastGraphConv(combined, hidden_dim, diffusion_steps, seed=base + 1,
-                                         node_chunk_size=node_chunk_size)
+        self.gates = FastGraphConv(combined, 2 * hidden_dim, diffusion_steps, seed=base,
+                                   node_chunk_size=node_chunk_size)
+        # Re-draw the fused gate weights from the legacy per-gate streams
+        # (reset from seed ``base``, update from ``base + 1``) so a freshly
+        # constructed cell is bit-identical to the historical layout.
+        rng_reset = spawn_rng(base)
+        rng_update = spawn_rng(base + 1)
+        for hop in self.gates.hop_weights:
+            fused = np.concatenate(
+                [
+                    init.xavier_uniform((combined, hidden_dim), rng_reset),
+                    init.xavier_uniform((combined, hidden_dim), rng_update),
+                ],
+                axis=1,
+            )
+            hop.data = fused.astype(hop.data.dtype, copy=False)
         self.candidate = FastGraphConv(combined, hidden_dim, diffusion_steps, seed=base + 2,
                                        node_chunk_size=node_chunk_size)
         rng = spawn_rng(base + 3)
@@ -148,10 +232,70 @@ class OneStepFastGConvCell(Module):
             init.xavier_uniform((hidden_dim, output_dim), rng), name="projection"
         )
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint migration
+    # ------------------------------------------------------------------ #
+    def _upgrade_state_dict(
+        self, prefix: str, state: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Fuse legacy per-gate checkpoint keys into the ``gates`` parameters.
+
+        Pre-fusion checkpoints stored the reset and update gates as separate
+        convolutions (``{prefix}reset_gate.hop_weights.{j}`` …).  Their hop
+        weights are concatenated column-wise (reset first) and their biases
+        end-to-end, which is exactly the fused layout — the migration is
+        bit-exact.  ``candidate`` and ``projection`` keys are unchanged.  A
+        checkpoint whose hop count does not match is left untouched so
+        :meth:`~repro.nn.module.Module.load_state_dict` reports the usual
+        structured missing/unexpected-key mismatch.
+        """
+        if f"{prefix}reset_gate.hop_weights.0" not in state:
+            return state
+        hops = self.gates.diffusion_steps
+        legacy_keys = [
+            f"{prefix}{gate}.{kind}"
+            for gate in ("reset_gate", "update_gate")
+            for kind in [f"hop_weights.{j}" for j in range(hops)] + ["bias"]
+        ]
+        if not all(key in state for key in legacy_keys) or (
+            f"{prefix}reset_gate.hop_weights.{hops}" in state
+        ):
+            return state  # hop-count mismatch: fall through to key matching
+        state = dict(state)
+        for j in range(hops):
+            reset = state.pop(f"{prefix}reset_gate.hop_weights.{j}")
+            update = state.pop(f"{prefix}update_gate.hop_weights.{j}")
+            state[f"{prefix}gates.hop_weights.{j}"] = np.concatenate([reset, update], axis=1)
+        reset_bias = state.pop(f"{prefix}reset_gate.bias")
+        update_bias = state.pop(f"{prefix}update_gate.bias")
+        state[f"{prefix}gates.bias"] = np.concatenate([reset_bias, update_bias])
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Recurrence
+    # ------------------------------------------------------------------ #
     def initial_state(self, batch_size: int, num_nodes: int) -> Tensor:
         """Zero hidden state of shape ``(batch, N, hidden)``, in the cell's dtype."""
         dtype = self.projection.dtype
-        return Tensor(np.zeros((batch_size, num_nodes, self.hidden_dim)), dtype=dtype)
+        return Tensor(
+            np.zeros((batch_size, num_nodes, self.hidden_dim), dtype=dtype), dtype=dtype
+        )
+
+    def prepare_weights(self) -> dict[str, Tensor]:
+        """Stacked views of the fused weights for single-gemm application.
+
+        Stacks the hop weights vertically, matching a diffusion-state
+        concatenation ordered ``[x_0, h_0, x_1, h_1, …]`` (every hop weight
+        already carries its input-side rows first).  The stacks are autograd
+        views of the live parameters, so they must be rebuilt per forward
+        call (optimiser steps rebind the parameter data) — the
+        encoder–decoder builds them once per sequence, replacing ``2·J``
+        small matmuls per gate application with one.
+        """
+        return {
+            "gates": concat(self.gates.hop_weights, axis=0),
+            "candidate": concat(self.candidate.hop_weights, axis=0),
+        }
 
     def forward(
         self,
@@ -160,13 +304,89 @@ class OneStepFastGConvCell(Module):
         adjacency: Tensor,
         index_set: np.ndarray | None = None,
         degree_scale: Tensor | None = None,
+        x_states: list[Tensor] | None = None,
+        prepared: dict[str, Tensor] | None = None,
+        need_prediction: bool = True,
+    ) -> tuple[Tensor, Tensor | None]:
+        """One recurrence step; returns ``(new_hidden, prediction)``.
+
+        ``x_states`` optionally supplies precomputed input-side diffusion
+        states (the encoder batches them for the whole history before its
+        loop); when given, the step's only aggregation work is the hidden
+        state and the reset-scaled hidden state, and ``x`` is never
+        touched.  ``prepared`` reuses :meth:`prepare_weights` stacks across
+        steps; ``need_prediction=False`` skips the projection matmul (the
+        encoder discards predictions).
+        """
+        index_set = as_index_array(index_set)
+        if prepared is None:
+            prepared = self.prepare_weights()
+        if x_states is None:
+            x_states = self.gates.diffusion_states(x, adjacency, index_set, degree_scale)
+        h_states = self.gates.diffusion_states(hidden, adjacency, index_set, degree_scale)
+        stacked = concat(
+            [state for pair in zip(x_states, h_states) for state in pair], axis=-1
+        )
+        gate_pre = stacked.matmul(prepared["gates"]) + self.gates.bias
+        gates = gate_pre.sigmoid()
+        reset = gates[..., : self.hidden_dim]
+        update = gates[..., self.hidden_dim :]
+        rh_states = self.candidate.diffusion_states(
+            reset * hidden, adjacency, index_set, degree_scale
+        )
+        stacked = concat(
+            [state for pair in zip(x_states, rh_states) for state in pair], axis=-1
+        )
+        cand_pre = stacked.matmul(prepared["candidate"]) + self.candidate.bias
+        candidate = cand_pre.tanh()
+        new_hidden = update * hidden + (1.0 - update) * candidate
+        prediction = new_hidden.matmul(self.projection) if need_prediction else None
+        return new_hidden, prediction
+
+    def forward_reference(
+        self,
+        x: Tensor,
+        hidden: Tensor,
+        adjacency: Tensor,
+        index_set: np.ndarray | None = None,
+        degree_scale: Tensor | None = None,
     ) -> tuple[Tensor, Tensor]:
-        """One recurrence step; returns ``(new_hidden, prediction)``."""
+        """The historical per-gate recurrence step, kept as reference.
+
+        Materialises ``concat([x, hidden])`` and runs an independent
+        full-width diffusion aggregation per gate — the seed cost profile —
+        so equivalence tests and the perf benchmark compare the fused hot
+        path against the original math (and the original amount of work).
+        """
+        index_set = as_index_array(index_set)
+        hidden_dim = self.hidden_dim
         combined = concat([x, hidden], axis=-1)
-        reset = self.reset_gate(combined, adjacency, index_set, degree_scale).sigmoid()
-        update = self.update_gate(combined, adjacency, index_set, degree_scale).sigmoid()
+        reset = self._reference_gate(
+            combined, adjacency, index_set, degree_scale, slice(0, hidden_dim)
+        ).sigmoid()
+        update = self._reference_gate(
+            combined, adjacency, index_set, degree_scale, slice(hidden_dim, 2 * hidden_dim)
+        ).sigmoid()
         candidate_input = concat([x, reset * hidden], axis=-1)
-        candidate = self.candidate(candidate_input, adjacency, index_set, degree_scale).tanh()
+        candidate = self.candidate(
+            candidate_input, adjacency, index_set, degree_scale
+        ).tanh()
         new_hidden = update * hidden + (1.0 - update) * candidate
         prediction = new_hidden.matmul(self.projection)
         return new_hidden, prediction
+
+    def _reference_gate(
+        self,
+        combined: Tensor,
+        adjacency: Tensor,
+        index_set: np.ndarray | None,
+        degree_scale: Tensor | None,
+        columns: slice,
+    ) -> Tensor:
+        """One legacy gate: its own aggregation over the concatenated input."""
+        conv = self.gates
+        states = conv.diffusion_states(combined, adjacency, index_set, degree_scale)
+        output = states[0].matmul(conv.hop_weights[0][:, columns])
+        for state, hop in zip(states[1:], conv.hop_weights[1:]):
+            output = output + state.matmul(hop[:, columns])
+        return output + conv.bias[columns]

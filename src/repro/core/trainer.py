@@ -32,11 +32,16 @@ from repro.utils.timer import Timer
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch record of the optimisation."""
+    """Per-epoch record of the optimisation.
+
+    ``lrs[i]`` is the learning rate the optimiser used *during* epoch ``i``
+    (captured before any scheduler step for that epoch).
+    """
 
     train_losses: list[float] = field(default_factory=list)
     val_maes: list[float] = field(default_factory=list)
     epoch_seconds: list[float] = field(default_factory=list)
+    lrs: list[float] = field(default_factory=list)
 
     @property
     def best_val_mae(self) -> float:
@@ -152,12 +157,28 @@ class Trainer:
         epochs: int = 10,
         patience: int | None = None,
         callback: Callable[[int, float, dict[str, float] | None], None] | None = None,
+        scheduler=None,
     ) -> TrainingHistory:
-        """Optimise for up to ``epochs`` epochs with optional early stopping."""
+        """Optimise for up to ``epochs`` epochs with optional early stopping.
+
+        ``scheduler`` optionally takes a learning-rate scheduler from
+        :mod:`repro.optim.lr_scheduler`; it is stepped once per epoch after
+        validation (:class:`~repro.optim.lr_scheduler.ReduceLROnPlateau`
+        receives the epoch's validation MAE, and therefore requires a
+        ``val_loader``).  Each epoch's effective learning rate is recorded
+        in ``history.lrs``, and the scheduler's state survives a
+        checkpoint/resume round trip via
+        ``save_bundle(..., scheduler=scheduler)``.
+        """
+        from repro.optim import ReduceLROnPlateau
+
+        if isinstance(scheduler, ReduceLROnPlateau) and val_loader is None:
+            raise ValueError("ReduceLROnPlateau requires a val_loader to monitor")
         best_val = float("inf")
         best_state = None
         bad_epochs = 0
         for epoch in range(epochs):
+            self.history.lrs.append(float(self.optimizer.lr))
             timer = Timer().start()
             train_loss = self.train_epoch(train_loader)
             elapsed = timer.stop()
@@ -174,6 +195,11 @@ class Trainer:
                     bad_epochs = 0
                 else:
                     bad_epochs += 1
+            if scheduler is not None:
+                if isinstance(scheduler, ReduceLROnPlateau):
+                    scheduler.step(val_metrics["mae"])
+                else:
+                    scheduler.step()
             if callback is not None:
                 callback(epoch, train_loss, val_metrics)
             if self.log_every:

@@ -77,14 +77,24 @@ class ForecastService:
         training hardware.  The chunked SNS/attention paths are
         bit-identical to the unchunked ones, so the frozen graph never
         changes.  An explicit ``chunk_size`` additionally blocks the
-        per-request encoder-decoder aggregation, which matches the
-        unblocked forward to ~1 ulp (not bitwise) — leave ``chunk_size``
-        unset if downstream consumers rely on bit-determinism against an
-        unchunked serve.  ``None`` leaves the model's own setting untouched.
-        Like ``model.eval()`` and the graph freeze, the override mutates the
-        passed model **in place** — the service takes ownership; do not keep
-        training (or build differently-tuned services) over the same
-        instance.
+        per-request encoder-decoder aggregation of the *module* forward,
+        which matches the unblocked forward to ~1 ulp (not bitwise).  The
+        default serving kernel (see ``use_kernel``) ignores the block size:
+        its preallocated workspace is already bounded by
+        ``O(B·N·J·hidden)``, with no wider transient.  ``None`` leaves the
+        model's own setting untouched.  Like ``model.eval()`` and the graph
+        freeze, the override mutates the passed model **in place** — the
+        service takes ownership; do not keep training (or build
+        differently-tuned services) over the same instance.
+    use_kernel:
+        When the graph is frozen and the model exposes a
+        :class:`~repro.core.encoder_decoder.SAGDFNEncoderDecoder`
+        forecaster, requests run through the no-grad
+        :class:`~repro.core.serving_kernel.FrozenRecurrenceKernel` — a
+        raw-ndarray fused recurrence with a preallocated workspace that
+        matches the module forward to ≤ 1e-10 relative (float64).  Set
+        ``False`` to serve through the autograd module forward instead,
+        which is bit-identical to the ``Trainer.evaluate`` path.
     """
 
     def __init__(
@@ -95,6 +105,7 @@ class ForecastService:
         config: dict | None = None,
         chunk_size: int | None = None,
         memory_budget_mb: float | None = None,
+        use_kernel: bool = True,
     ):
         self.model = model
         self.scaler = scaler
@@ -107,6 +118,7 @@ class ForecastService:
         self.frozen: FrozenGraph | None = None
         self._adjacency_tensor: Tensor | None = None
         self._degree_scale_tensor: Tensor | None = None
+        self._kernel = None
         if freeze_graph and self._supports_frozen_graph(model):
             if getattr(model, "index_set", None) is None and hasattr(model, "refresh_graph"):
                 # No converged index set came with the model/bundle.  Sample
@@ -126,6 +138,15 @@ class ForecastService:
             self.frozen = FrozenGraph.from_model(model)
             self._adjacency_tensor = Tensor(self.frozen.adjacency, dtype=self._dtype)
             self._degree_scale_tensor = Tensor(self.frozen.degree_scale, dtype=self._dtype)
+            if use_kernel and hasattr(model.forecaster, "encoder_cells"):
+                from repro.core.serving_kernel import FrozenRecurrenceKernel
+
+                self._kernel = FrozenRecurrenceKernel(
+                    model.forecaster,
+                    self.frozen.adjacency,
+                    self.frozen.index_set,
+                    self.frozen.degree_scale,
+                )
         self.num_requests = 0
 
     # ------------------------------------------------------------------ #
@@ -185,6 +206,7 @@ class ForecastService:
         freeze_graph: bool = True,
         chunk_size: int | None = None,
         memory_budget_mb: float | None = None,
+        use_kernel: bool = True,
     ) -> "ForecastService":
         """Rehydrate a service from a serving bundle written by ``save_bundle``.
 
@@ -203,6 +225,7 @@ class ForecastService:
             config=bundle.config,
             chunk_size=chunk_size,
             memory_budget_mb=memory_budget_mb,
+            use_kernel=use_kernel,
         )
 
     @staticmethod
@@ -242,6 +265,8 @@ class ForecastService:
     # ------------------------------------------------------------------ #
     def _forward(self, history: Tensor) -> Tensor:
         if self.frozen is not None:
+            if self._kernel is not None:
+                return Tensor(self._kernel(history.data), dtype=self._dtype)
             return self.model.forecaster(
                 history,
                 self._adjacency_tensor,
@@ -254,8 +279,11 @@ class ForecastService:
         """Forecast a batch of normalised histories ``(B, h, N, C)``.
 
         Returns predictions of shape ``(B, f, N, 1)`` in original units
-        (inverse-transformed with the bundled scaler), numerically identical
-        to the ``Trainer.evaluate`` forward path on the same model.
+        (inverse-transformed with the bundled scaler).  Through the default
+        serving kernel the output matches the ``Trainer.evaluate`` forward
+        path to ≤ 1e-10 relative in float64 (BLAS summation-order noise;
+        ~1e-7 in float32); construct the service with ``use_kernel=False``
+        when bit-identical parity with the trainer forward is required.
         """
         history = np.asarray(history)
         if history.ndim != 4:

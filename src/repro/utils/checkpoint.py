@@ -16,6 +16,15 @@ Reserved keys are wrapped in double underscores (``__metadata__``,
 ``__bundle__``, …) so they can never collide with parameter names;
 :func:`load_checkpoint` skips them, which lets a plain model load the
 parameters out of a bundle archive.
+
+Both loaders route the parameter state through
+:meth:`repro.nn.module.Module.load_state_dict`, so legacy archive layouts
+are migrated transparently by the per-module ``_upgrade_state_dict`` hooks:
+pre-vectorisation per-head attention keys (``attention.heads.{p}.…``) are
+stacked into the batched head parameters, and pre-fusion per-gate recurrence
+keys (``…reset_gate.…`` / ``…update_gate.…``) are concatenated — bit-exactly
+— into the fused ``gates`` convolution of each
+:class:`~repro.core.gconv.OneStepFastGConvCell`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,332 @@
+"""Equivalence and migration suite for the fused recurrent hot path.
+
+Three implementations of the encoder–decoder recurrence must agree:
+
+* ``SAGDFNEncoderDecoder.forward`` — the fused autograd path (gate fusion,
+  shared diffusion states, input-side precompute, stacked-weight gemms);
+* ``SAGDFNEncoderDecoder.forward_reference`` — the historical per-gate
+  concat loop (the seed implementation's math);
+* :class:`~repro.core.serving_kernel.FrozenRecurrenceKernel` — the raw
+  ndarray no-grad serving kernel behind ``ForecastService``.
+
+The fused/kernel paths only reorder BLAS reductions, so in float64 they
+match the reference to ≤ 1e-10 relative (the PR 1 equivalence methodology);
+float32 gets a correspondingly looser envelope.  Legacy per-gate checkpoints
+must keep loading bit-exactly through ``_upgrade_state_dict``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SAGDFN, SAGDFNConfig, OneStepFastGConvCell
+from repro.core.encoder_decoder import SAGDFNEncoderDecoder
+from repro.core.serving_kernel import FrozenRecurrenceKernel
+from repro.serve import ForecastService
+from repro.tensor import Tensor, default_dtype, no_grad
+
+F64_REL = 1e-10
+F32_REL = 5e-5
+
+
+def _max_rel(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.abs(a - b).max() / max(np.abs(b).max(), 1e-30))
+
+
+def _model(num_layers=1, chunk_size=None, seed=0, teacher_forcing=0.0):
+    config = SAGDFNConfig(
+        num_nodes=22, history=4, horizon=3, num_significant=6, top_k=4,
+        hidden_size=8, num_heads=2, ffn_hidden=6, seed=seed,
+        num_layers=num_layers, chunk_size=chunk_size,
+        teacher_forcing=teacher_forcing,
+    )
+    model = SAGDFN(config)
+    model.refresh_graph(10**6)  # past convergence: frozen index set
+    return model
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("num_layers", [1, 2])
+    @pytest.mark.parametrize("dtype,rel", [("float64", F64_REL), ("float32", F32_REL)])
+    def test_fused_matches_reference(self, rng, num_layers, dtype, rel):
+        with default_dtype(dtype):
+            model = _model(num_layers=num_layers)
+            model.eval()
+            x = Tensor(rng.normal(size=(3, 4, 22, 2)))
+            with no_grad():
+                fused = model(x).data
+                reference = model.forward_reference(x).data
+        assert fused.dtype == reference.dtype
+        assert _max_rel(fused, reference) <= rel
+
+    @pytest.mark.parametrize("chunk_size", [None, 5])
+    def test_node_chunked_fused_matches_reference(self, rng, chunk_size):
+        model = _model(chunk_size=chunk_size)
+        model.eval()
+        x = Tensor(rng.normal(size=(2, 4, 22, 2)))
+        with no_grad():
+            fused = model(x).data
+            reference = model.forward_reference(x).data
+        assert _max_rel(fused, reference) <= F64_REL
+
+    def test_teacher_forcing_paths_agree(self, rng):
+        """With identical RNG state both paths make the same curriculum draws."""
+        model = _model(teacher_forcing=1.0)
+        model.train()
+        x = Tensor(rng.normal(size=(2, 4, 22, 2)))
+        targets = Tensor(rng.normal(size=(2, 3, 22, 1)))
+        state = model.forecaster._rng.bit_generator.state
+        fused = model(x, targets=targets).data
+        model.forecaster._rng.bit_generator.state = state
+        reference = model.forward_reference(x, targets=targets).data
+        assert _max_rel(fused, reference) <= F64_REL
+
+    def test_gradients_flow_through_fused_path(self, rng):
+        model = _model()
+        model.train()
+        x = Tensor(rng.normal(size=(2, 4, 22, 2)))
+        model(x).sum().backward()
+        # Encoder/lower-layer projections never feed the loss (their
+        # predictions are discarded), exactly as in the per-gate layout.
+        dead = {"projection"}
+        for name, parameter in model.forecaster.named_parameters():
+            if name.split(".")[-1] in dead and "decoder_cells" not in name:
+                continue
+            assert parameter.grad is not None, name
+
+    def test_cell_standalone_call_matches_reference(self, rng):
+        cell = OneStepFastGConvCell(input_dim=2, hidden_dim=5, diffusion_steps=3, seed=1)
+        hidden = Tensor(rng.normal(size=(2, 9, 5)))
+        x = Tensor(rng.normal(size=(2, 9, 2)))
+        slim = Tensor(rng.random((9, 3)))
+        index_set = np.array([0, 4, 7])
+        new_hidden, prediction = cell(x, hidden, slim, index_set)
+        ref_hidden, ref_prediction = cell.forward_reference(x, hidden, slim, index_set)
+        assert _max_rel(new_hidden.data, ref_hidden.data) <= F64_REL
+        assert _max_rel(prediction.data, ref_prediction.data) <= F64_REL
+
+
+class TestServingKernel:
+    @pytest.mark.parametrize("num_layers", [1, 2])
+    def test_kernel_matches_reference(self, rng, num_layers):
+        model = _model(num_layers=num_layers)
+        service = ForecastService(model)
+        assert service._kernel is not None
+        x = rng.normal(size=(3, 4, 22, 2))
+        kernel_out = service.predict(x)
+        with no_grad():
+            reference = model.forecaster.forward_reference(
+                Tensor(x), service._adjacency_tensor, service.frozen.index_set,
+                degree_scale=service._degree_scale_tensor,
+            ).data
+        assert _max_rel(kernel_out, reference) <= F64_REL
+
+    def test_kernel_matches_module_forward_float32(self, rng):
+        with default_dtype("float32"):
+            model = _model()
+            fallback = ForecastService(_copy_of(model), use_kernel=False)
+            service = ForecastService(model)
+            x = rng.normal(size=(2, 4, 22, 2)).astype(np.float32)
+            assert service.predict(x).dtype == np.float32
+            assert _max_rel(service.predict(x), fallback.predict(x)) <= F32_REL
+
+    def test_kernel_workspace_reuse_is_deterministic(self, rng):
+        service = ForecastService(_model())
+        x = rng.normal(size=(2, 4, 22, 2))
+        first = service.predict(x)
+        second = service.predict(x)
+        assert np.array_equal(first, second)
+        # different batch size allocates a fresh workspace, same rows agree
+        one = service.predict(x[:1])
+        assert _max_rel(one, first[:1]) <= F64_REL
+
+    def test_kernel_output_is_not_aliased_to_workspace(self, rng):
+        service = ForecastService(_model())
+        x = rng.normal(size=(1, 4, 22, 2))
+        first = service.predict(x)
+        snapshot = first.copy()
+        service.predict(rng.normal(size=(1, 4, 22, 2)))
+        assert np.array_equal(first, snapshot)
+
+    def test_kernel_dense_support_path(self, rng):
+        forecaster = SAGDFNEncoderDecoder(input_dim=2, hidden_dim=6, horizon=3, seed=3)
+        dense = np.abs(rng.random((10, 10)))
+        scale = 1.0 / (dense.sum(axis=-1, keepdims=True) + 1.0)
+        kernel = FrozenRecurrenceKernel(forecaster, dense, None, scale)
+        x = rng.normal(size=(2, 4, 10, 2))
+        forecaster.eval()
+        with no_grad():
+            reference = forecaster.forward_reference(
+                Tensor(x), Tensor(dense), None, degree_scale=Tensor(scale)
+            ).data
+        assert _max_rel(kernel(x), reference) <= F64_REL
+
+    def test_kernel_validates_shapes(self, rng):
+        service = ForecastService(_model())
+        with pytest.raises(ValueError):
+            service._kernel(rng.normal(size=(4, 22, 2)))
+        with pytest.raises(ValueError):
+            service._kernel(rng.normal(size=(1, 4, 21, 2)))
+        with pytest.raises(ValueError):
+            service._kernel(rng.normal(size=(1, 4, 22, 3)))
+
+    def test_use_kernel_false_serves_module_forward(self, rng):
+        model = _model()
+        service = ForecastService(model, use_kernel=False)
+        assert service._kernel is None
+        x = rng.normal(size=(2, 4, 22, 2))
+        with no_grad():
+            expected = model.forecaster(
+                Tensor(x), service._adjacency_tensor, service.frozen.index_set,
+                degree_scale=service._degree_scale_tensor,
+            ).data
+        assert np.array_equal(service.predict(x), expected)
+
+
+def _copy_of(model):
+    clone = SAGDFN(model.config)
+    clone.sampler.candidates = model.sampler.candidates.copy()
+    clone._index_set = model.index_set.copy()
+    clone.load_state_dict(model.state_dict())
+    return clone
+
+
+class TestLegacyCheckpointMigration:
+    def _legacy_state(self, cell, prefix="", rng=None):
+        """Build a legacy per-gate state dict for ``cell`` with random values."""
+        rng = rng or np.random.default_rng(11)
+        combined = cell.input_dim + cell.hidden_dim
+        hidden = cell.hidden_dim
+        hops = cell.gates.diffusion_steps
+        state = {}
+        for gate in ("reset_gate", "update_gate"):
+            for j in range(hops):
+                state[f"{prefix}{gate}.hop_weights.{j}"] = rng.normal(
+                    size=(combined, hidden)
+                )
+            state[f"{prefix}{gate}.bias"] = rng.normal(size=hidden)
+        for j in range(hops):
+            state[f"{prefix}candidate.hop_weights.{j}"] = rng.normal(
+                size=(combined, hidden)
+            )
+        state[f"{prefix}candidate.bias"] = rng.normal(size=hidden)
+        state[f"{prefix}projection"] = rng.normal(size=(hidden, cell.output_dim))
+        return state
+
+    def test_cell_upgrades_per_gate_keys_bit_exactly(self):
+        cell = OneStepFastGConvCell(input_dim=2, hidden_dim=4, diffusion_steps=3, seed=0)
+        legacy = self._legacy_state(cell)
+        cell.load_state_dict(legacy)
+        for j in range(3):
+            expected = np.concatenate(
+                [legacy[f"reset_gate.hop_weights.{j}"],
+                 legacy[f"update_gate.hop_weights.{j}"]], axis=1
+            )
+            assert np.array_equal(cell.gates.hop_weights[j].data, expected)
+        assert np.array_equal(
+            cell.gates.bias.data,
+            np.concatenate([legacy["reset_gate.bias"], legacy["update_gate.bias"]]),
+        )
+        assert np.array_equal(
+            cell.candidate.hop_weights[0].data, legacy["candidate.hop_weights.0"]
+        )
+
+    def test_full_model_round_trips_through_legacy_layout(self):
+        """Downgrade a model's state to the per-gate layout and load it back."""
+        model = _model(num_layers=2)
+        state = model.state_dict()
+        legacy = {}
+        for key, value in state.items():
+            if ".gates.hop_weights." in key:
+                head, hop = key.rsplit(".", 1)
+                base = head.replace(".gates.hop_weights", "")
+                hidden = value.shape[1] // 2
+                legacy[f"{base}.reset_gate.hop_weights.{hop}"] = value[:, :hidden]
+                legacy[f"{base}.update_gate.hop_weights.{hop}"] = value[:, hidden:]
+            elif key.endswith(".gates.bias"):
+                base = key.replace(".gates.bias", "")
+                hidden = value.shape[0] // 2
+                legacy[f"{base}.reset_gate.bias"] = value[:hidden]
+                legacy[f"{base}.update_gate.bias"] = value[hidden:]
+            else:
+                legacy[key] = value
+        clone = SAGDFN(model.config)
+        clone.load_state_dict(legacy)
+        for key, value in clone.state_dict().items():
+            assert np.array_equal(value, state[key]), key
+
+    def test_hop_count_mismatch_falls_through_to_key_error(self):
+        cell = OneStepFastGConvCell(input_dim=2, hidden_dim=4, diffusion_steps=2, seed=0)
+        three_hop = OneStepFastGConvCell(input_dim=2, hidden_dim=4, diffusion_steps=3,
+                                         seed=0)
+        legacy = self._legacy_state(three_hop)
+        with pytest.raises(KeyError):
+            cell.load_state_dict(legacy)
+
+    def test_fresh_cell_matches_legacy_seeded_draws(self):
+        """Fused weights are assembled from the exact legacy per-gate streams."""
+        from repro.nn import init
+        from repro.utils.seed import spawn_rng
+
+        cell = OneStepFastGConvCell(input_dim=3, hidden_dim=5, diffusion_steps=2, seed=9)
+        combined = 8
+        rng_reset, rng_update = spawn_rng(9), spawn_rng(10)
+        for hop in cell.gates.hop_weights:
+            expected = np.concatenate(
+                [init.xavier_uniform((combined, 5), rng_reset),
+                 init.xavier_uniform((combined, 5), rng_update)], axis=1
+            )
+            assert np.array_equal(hop.data, expected)
+
+
+class TestMicroAllocationFixes:
+    def test_initial_state_allocates_directly_in_cell_dtype(self):
+        with default_dtype("float32"):
+            cell = OneStepFastGConvCell(input_dim=2, hidden_dim=4)
+            state = cell.initial_state(3, 7)
+        assert state.dtype == np.float32
+        assert state.shape == (3, 7, 4)
+        assert not state.data.flags.writeable or state.data.sum() == 0.0
+
+    def test_index_conversion_is_hoisted(self, rng):
+        """A list index set is converted once per forward, not per hop."""
+        from repro.core.gconv import FastGraphConv
+
+        conv = FastGraphConv(input_dim=2, output_dim=2, diffusion_steps=4, seed=0)
+        x = Tensor(rng.normal(size=(1, 8, 2)))
+        slim = Tensor(rng.random((8, 3)))
+        as_list = [0, 3, 5]
+        as_array = np.array(as_list, dtype=np.int64)
+        assert np.array_equal(conv(x, slim, as_list).data, conv(x, slim, as_array).data)
+
+
+class TestKernelConcurrency:
+    def test_concurrent_predicts_are_correct(self, rng):
+        """The shared workspace is lock-protected: parallel callers must get
+        the same answers as sequential ones."""
+        import concurrent.futures
+
+        service = ForecastService(_model())
+        windows = [rng.normal(size=(2, 4, 22, 2)) for _ in range(8)]
+        expected = [service.predict(w) for w in windows]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(service.predict, windows))
+        for got, want in zip(results, expected):
+            assert np.array_equal(got, want)
+
+    def test_workspace_cache_is_bounded(self, rng):
+        from repro.core.serving_kernel import _MAX_WORKSPACES
+
+        service = ForecastService(_model())
+        for batch in range(1, _MAX_WORKSPACES + 4):
+            service.predict(rng.normal(size=(batch, 4, 22, 2)))
+        assert len(service._kernel._workspaces) == _MAX_WORKSPACES
+        # the most recent batch sizes survive and still serve correctly
+        batch = _MAX_WORKSPACES + 3
+        assert batch in service._kernel._workspaces
+        out = service.predict(rng.normal(size=(1, 4, 22, 2)))  # evicted size: rebuilt
+        assert out.shape == (1, 3, 22, 1)

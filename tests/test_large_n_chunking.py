@@ -162,7 +162,7 @@ class TestEndToEndChunked:
         assert chunked.sampler.chunk_size == 9
         assert chunked.attention.chunk_size == 9
         for cell in chunked.forecaster.encoder_cells + chunked.forecaster.decoder_cells:
-            assert cell.reset_gate.node_chunk_size == 9
+            assert cell.gates.node_chunk_size == 9
 
     def test_frozen_graph_bit_identical_predictions_close(self, rng):
         plain, chunked = self._models(chunk_size=9)
@@ -200,7 +200,7 @@ class TestServiceMemoryKnobs:
         assert model.attention.memory_budget_mb == 16.0
         # the per-request encoder-decoder hot path is blocked too
         for cell in model.forecaster.encoder_cells + model.forecaster.decoder_cells:
-            assert cell.reset_gate.node_chunk_size == 5
+            assert cell.gates.node_chunk_size == 5
             assert cell.candidate.node_chunk_size == 5
         # the frozen graph is unchanged by the knob (bit-identity) …
         assert np.array_equal(reference.frozen.adjacency, overridden.frozen.adjacency)

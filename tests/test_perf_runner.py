@@ -168,3 +168,73 @@ class TestPerfRunner:
         run_perf.validate_schema(report)
         node_counts = {entry["num_nodes"] for entry in report["results"]}
         assert {200, 2000} <= node_counts
+
+
+class TestRecurrenceSection:
+    def test_recurrence_section_present_and_sane(self, tiny_report):
+        report, _ = tiny_report
+        recurrence = report["recurrence"]
+        assert report["schema_version"] == 4
+        assert recurrence["history"] > 0 and recurrence["horizon"] > 0
+        (entry,) = recurrence["results"]
+        assert entry["num_nodes"] == 24
+        assert entry["steps"] == recurrence["history"] + recurrence["horizon"]
+        for key in ("reference_ms", "fused_ms", "kernel_ms",
+                    "train_fused_ms", "train_reference_ms"):
+            assert entry[key] > 0, key
+        for key in ("fused_speedup", "kernel_speedup", "train_speedup"):
+            assert entry[key] > 0, key
+        # the fast paths must sit inside the documented equivalence envelope
+        assert entry["max_rel_diff_fused"] <= 5e-5   # float32 bench dtype
+        assert entry["max_rel_diff_kernel"] <= 5e-5
+        batch_sizes = [e["batch_size"] for e in recurrence["serve_throughput"]]
+        assert batch_sizes == [1, 8, 32]
+        assert recurrence["throughput_batch8_over_batch1"] > 0
+
+    def test_recurrence_only_mode(self, run_perf, tmp_path):
+        output = tmp_path / "recurrence.json"
+        report = run_perf.main(
+            [
+                "--recurrence-only",
+                "--sizes", "24",
+                "--recurrence-sizes", "24",
+                "--m", "6",
+                "--heads", "2",
+                "--embedding-dim", "4",
+                "--ffn-hidden", "4",
+                "--hidden", "4",
+                "--repeats", "1",
+                "--assert-recurrence-speedup", "0.01",
+                "--assert-serve-batch-growth", "0.01",
+                "--output", str(output),
+            ]
+        )
+        assert report["benchmark"] == "attention-recurrence"
+        on_disk = json.loads(output.read_text())
+        assert "results" not in on_disk  # only the recurrence section is written
+        run_perf.validate_recurrence(on_disk["recurrence"])
+
+    def test_recurrence_speedup_assertion_fails_when_below(self, run_perf, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                [
+                    "--recurrence-only",
+                    "--sizes", "24",
+                    "--recurrence-sizes", "24",
+                    "--m", "6",
+                    "--heads", "2",
+                    "--embedding-dim", "4",
+                    "--ffn-hidden", "4",
+                    "--hidden", "4",
+                    "--repeats", "1",
+                    "--assert-recurrence-speedup", "1000",
+                    "--output", str(tmp_path / "r.json"),
+                ]
+            )
+
+    def test_scaling_and_recurrence_only_are_exclusive(self, run_perf, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                ["--scaling-only", "--recurrence-only",
+                 "--output", str(tmp_path / "x.json")]
+            )
