@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass
 class SAGDFNConfig:
@@ -73,6 +75,31 @@ class SAGDFNConfig:
         Alternative to ``chunk_size``: a per-forward scratch budget in MiB
         from which each module derives its own node-block size.  Ignored
         when ``chunk_size`` is set explicitly.
+    quantiles:
+        Probabilistic-forecasting head: when set (e.g. ``(0.1, 0.5, 0.9)``),
+        the decoder projects every step to one column per quantile and the
+        trainer optimises the masked pinball loss instead of the masked MAE.
+        The quantile closest to 0.5 (the median head) is fed back as the
+        next decoder input and scores the point metrics.  Requires
+        ``output_dim == 1``; quantiles must be strictly increasing in
+        ``(0, 1)``.  ``None`` keeps the point-forecast head.
+    exog_dim:
+        Number of declared exogenous covariate channels (time-of-day /
+        day-of-week, …) appended to the ``input_dim`` endogenous channels of
+        every encoder input window.  Exogenous channels are part of the
+        encoder input width but are never forecast and never normalised by
+        the target scaler.  0 keeps the legacy layout (where any covariates
+        are counted inside ``input_dim``).
+    mask_input:
+        Native missing-data handling: when ``True`` the encoder input
+        carries one trailing observation-mask channel (1 = observed,
+        0 = missing).  The data layer zero-imputes missing endogenous
+        readings *in normalised units* (i.e. mean-imputation in original
+        units) and the mask channel flows through the same diffusion-state
+        precompute and fused gates as every other channel, so the cells see
+        both how much signal a node aggregated and which inputs were
+        imputed — missing entries influence neither the loss nor any
+        gradient.
     seed:
         Seed for parameter initialisation and neighbour sampling.
     """
@@ -99,6 +126,9 @@ class SAGDFNConfig:
     use_predefined_graph: bool = False
     chunk_size: int | None = None
     memory_budget_mb: float | None = None
+    quantiles: tuple[float, ...] | None = None
+    exog_dim: int = 0
+    mask_input: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -125,6 +155,39 @@ class SAGDFNConfig:
             raise ValueError("chunk_size must be >= 1 (or None for the default)")
         if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
             raise ValueError("memory_budget_mb must be positive (or None for the default)")
+        if self.quantiles is not None:
+            # Bundle configs arrive as JSON lists; normalise to a float tuple.
+            quantiles = tuple(float(q) for q in self.quantiles)
+            if not quantiles:
+                raise ValueError("quantiles must be non-empty (or None for a point head)")
+            if any(not 0.0 < q < 1.0 for q in quantiles):
+                raise ValueError(f"quantiles must lie strictly inside (0, 1): {quantiles}")
+            if any(b <= a for a, b in zip(quantiles, quantiles[1:])):
+                raise ValueError(f"quantiles must be strictly increasing: {quantiles}")
+            if self.output_dim != 1:
+                raise ValueError("quantile heads require output_dim == 1")
+            self.quantiles = quantiles
+        if self.exog_dim < 0:
+            raise ValueError("exog_dim must be >= 0")
+        if self.input_dim < 1:
+            raise ValueError("input_dim must be >= 1")
+
+    @property
+    def encoder_input_width(self) -> int:
+        """Total encoder input channels: endogenous + exogenous + mask."""
+        return self.input_dim + self.exog_dim + (1 if self.mask_input else 0)
+
+    @property
+    def num_quantiles(self) -> int:
+        """Number of decoder quantile heads (1 for a point forecaster)."""
+        return len(self.quantiles) if self.quantiles is not None else 1
+
+    @property
+    def median_index(self) -> int:
+        """Index of the quantile fed back to the decoder (closest to 0.5)."""
+        if self.quantiles is None:
+            return 0
+        return int(np.argmin(np.abs(np.asarray(self.quantiles) - 0.5)))
 
     @classmethod
     def paper_setting(cls, num_nodes: int, history: int = 12, horizon: int = 12) -> "SAGDFNConfig":

@@ -29,7 +29,8 @@ class SAGDFNEncoderDecoder(Module):
     Parameters
     ----------
     input_dim:
-        Channels of the encoder input (target + covariates).
+        Endogenous channels of the encoder input (target + any covariates
+        counted in the legacy layout).
     hidden_dim:
         ``D`` — GRU hidden width.
     output_dim:
@@ -47,6 +48,20 @@ class SAGDFNEncoderDecoder(Module):
         Node-block size forwarded to every cell's graph convolutions (the
         large-``N`` memory knob of :class:`~repro.core.config.SAGDFNConfig`);
         ``None`` keeps the unchunked aggregation.
+    exog_dim:
+        Declared exogenous covariate channels appended after the
+        ``input_dim`` endogenous ones.  They widen the first encoder layer
+        only — the decoder consumes predictions (``output_dim`` channels),
+        never covariates.
+    mask_input:
+        When ``True`` the encoder input additionally carries a trailing
+        observation-mask channel; it flows through the same diffusion-state
+        precompute and fused gates as every other channel.
+    quantiles:
+        Probabilistic head: the decoder cells project every step to
+        ``output_dim · len(quantiles)`` columns (ordered by quantile level),
+        and the head closest to 0.5 is fed back as the next decoder input.
+        ``None`` keeps the single point head.
     """
 
     def __init__(
@@ -60,14 +75,23 @@ class SAGDFNEncoderDecoder(Module):
         teacher_forcing: float = 0.0,
         seed: int | None = 0,
         node_chunk_size: int | None = None,
+        exog_dim: int = 0,
+        mask_input: bool = False,
+        quantiles: tuple[float, ...] | None = None,
     ):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
+        if exog_dim < 0:
+            raise ValueError("exog_dim must be >= 0")
         base = 0 if seed is None else seed
         self.input_dim = input_dim
+        self.exog_dim = exog_dim
+        self.mask_input = bool(mask_input)
+        self.encoder_input_dim = input_dim + exog_dim + (1 if mask_input else 0)
         self.hidden_dim = hidden_dim
         self.output_dim = output_dim
+        self.quantiles = None if quantiles is None else tuple(float(q) for q in quantiles)
         self.horizon = horizon
         self.num_layers = num_layers
         self.teacher_forcing = teacher_forcing
@@ -76,7 +100,7 @@ class SAGDFNEncoderDecoder(Module):
 
         self.encoder_cells = [
             OneStepFastGConvCell(
-                input_dim if layer == 0 else hidden_dim,
+                self.encoder_input_dim if layer == 0 else hidden_dim,
                 hidden_dim,
                 output_dim,
                 diffusion_steps,
@@ -89,13 +113,37 @@ class SAGDFNEncoderDecoder(Module):
             OneStepFastGConvCell(
                 output_dim if layer == 0 else hidden_dim,
                 hidden_dim,
-                output_dim,
+                self.prediction_dim,
                 diffusion_steps,
                 seed=base + 100 + layer,
                 node_chunk_size=node_chunk_size,
             )
             for layer in range(num_layers)
         ]
+
+    @property
+    def num_quantiles(self) -> int:
+        """Number of decoder heads (1 for a point forecaster)."""
+        return len(self.quantiles) if self.quantiles else 1
+
+    @property
+    def prediction_dim(self) -> int:
+        """Channels of every decoder-step prediction (``output_dim · Q``)."""
+        return self.output_dim * self.num_quantiles
+
+    @property
+    def feedback_index(self) -> int:
+        """Quantile head fed back as the next decoder input (closest to 0.5)."""
+        if not self.quantiles:
+            return 0
+        return int(np.argmin(np.abs(np.asarray(self.quantiles) - 0.5)))
+
+    def _feedback(self, prediction: Tensor) -> Tensor:
+        """Slice the decoder-input channels out of a full-width prediction."""
+        if self.num_quantiles == 1:
+            return prediction
+        start = self.feedback_index * self.output_dim
+        return prediction[..., start : start + self.output_dim]
 
     def _run_stack(
         self,
@@ -203,7 +251,7 @@ class SAGDFNEncoderDecoder(Module):
                 and self.teacher_forcing > 0.0
                 and self._rng.random() < self.teacher_forcing
             )
-            decoder_input = targets[:, step] if use_truth else prediction
+            decoder_input = targets[:, step] if use_truth else self._feedback(prediction)
         return stack(predictions, axis=1)
 
     def forward_reference(
@@ -255,5 +303,5 @@ class SAGDFNEncoderDecoder(Module):
                 and self.teacher_forcing > 0.0
                 and self._rng.random() < self.teacher_forcing
             )
-            decoder_input = targets[:, step] if use_truth else prediction
+            decoder_input = targets[:, step] if use_truth else self._feedback(prediction)
         return stack(predictions, axis=1)

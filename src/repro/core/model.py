@@ -78,6 +78,9 @@ class SAGDFN(Module):
             teacher_forcing=config.teacher_forcing,
             seed=config.seed,
             node_chunk_size=config.chunk_size,
+            exog_dim=config.exog_dim,
+            mask_input=config.mask_input,
+            quantiles=config.quantiles,
         )
 
         # "w/o SNS & SSMA" ablation: a fixed, distance-derived dense support.

@@ -139,8 +139,10 @@ class _Workspace:
         self.update = np.empty((n, batch, h), dtype=dtype)
         self.candidate = np.empty((n, batch, h), dtype=dtype)
         self.decoder_input = np.empty((n, batch, kernel.output_dim), dtype=dtype)
+        # Full-width predictions: one column per quantile head for
+        # probabilistic forecasters (prediction_dim == output_dim otherwise).
         self.predictions = np.empty(
-            (kernel.horizon, n, batch, kernel.output_dim), dtype=dtype
+            (kernel.horizon, n, batch, kernel.prediction_dim), dtype=dtype
         )
 
 
@@ -170,6 +172,12 @@ class FrozenRecurrenceKernel:
         self.horizon = forecaster.horizon
         self.output_dim = forecaster.output_dim
         self.hidden_dim = forecaster.hidden_dim
+        # Quantile heads: the decoder projects prediction_dim columns per
+        # step; only the feedback slice (the head closest to the median)
+        # re-enters the recurrence.
+        self.prediction_dim = getattr(forecaster, "prediction_dim", forecaster.output_dim)
+        feedback_index = getattr(forecaster, "feedback_index", 0)
+        self._feedback_start = feedback_index * self.output_dim
         self.encoder = [_CellWeights(cell) for cell in forecaster.encoder_cells]
         self.decoder = [_CellWeights(cell) for cell in forecaster.decoder_cells]
         self.hops = self.encoder[0].hops
@@ -360,7 +368,7 @@ class FrozenRecurrenceKernel:
             np.matmul(
                 current.reshape(rows, hidden_dim),
                 cells[-1].projection,
-                out=prediction_out.reshape(rows, self.output_dim),
+                out=prediction_out.reshape(rows, cells[-1].output_dim),
             )
 
     def _precompute_encoder_inputs(self, history: np.ndarray) -> np.ndarray:
@@ -424,9 +432,12 @@ class FrozenRecurrenceKernel:
 
             np.copyto(ws.decoder_input, history_nm[-1, :, :, : self.output_dim])
             current_input: np.ndarray = ws.decoder_input
+            feedback = slice(self._feedback_start, self._feedback_start + self.output_dim)
             for step in range(self.horizon):
                 self._step(self.decoder, ws, current_input, None, ws.predictions[step])
-                current_input = ws.predictions[step]
+                # Quantile heads feed only the median columns back (a view —
+                # the x-stack fill copies from it anyway).
+                current_input = ws.predictions[step][..., feedback]
             # Back to batch-major (B, horizon, N, output_dim); always a copy
             # so the caller never aliases the reused workspace
             # (ascontiguousarray would skip the copy for singleton

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.data.loader import DataLoader
 from repro.data.scalers import StandardScaler
-from repro.nn.loss import masked_mae
+from repro.nn.loss import masked_mae, masked_pinball
 from repro.nn.module import Module
 from repro.optim import Optimizer, clip_grad_norm
 from repro.tensor import Tensor, no_grad
@@ -72,6 +72,12 @@ class Trainer:
         Global gradient-norm clip (the paper's code uses 5).
     null_value:
         Target value treated as missing by the masked loss (0 for traffic).
+    quantiles:
+        Quantile levels of a probabilistic head.  When set — or when the
+        model's config declares ``quantiles`` — training optimises the
+        masked pinball loss over all heads, and evaluation adds coverage /
+        pinball / interval-width metrics (point metrics score the median
+        head).  ``None`` keeps the point-forecast masked MAE.
     """
 
     def __init__(
@@ -82,12 +88,16 @@ class Trainer:
         max_grad_norm: float = 5.0,
         null_value: float | None = 0.0,
         log_every: int = 0,
+        quantiles: tuple[float, ...] | None = None,
     ):
         self.model = model
         self.optimizer = optimizer
         self.scaler = scaler
         self.max_grad_norm = max_grad_norm
         self.null_value = null_value
+        if quantiles is None:
+            quantiles = getattr(getattr(model, "config", None), "quantiles", None)
+        self.quantiles = None if quantiles is None else tuple(float(q) for q in quantiles)
         self.log_every = log_every
         self.logger = get_logger("repro.trainer")
         self.history = TrainingHistory()
@@ -116,7 +126,12 @@ class Trainer:
                 self.model.refresh_graph(self._iteration)
             self.model.zero_grad()
             predictions = self._denormalise(self._forward(batch_x))
-            loss = masked_mae(predictions, Tensor(batch_y), null_value=self.null_value)
+            if self.quantiles is not None:
+                loss = masked_pinball(
+                    predictions, Tensor(batch_y), self.quantiles, null_value=self.null_value
+                )
+            else:
+                loss = masked_mae(predictions, Tensor(batch_y), null_value=self.null_value)
             loss.backward()
             clip_grad_norm(self.model.parameters(), self.max_grad_norm)
             self.optimizer.step()
@@ -140,7 +155,7 @@ class Trainer:
 
         was_training = self.model.training
         self.model.eval()
-        stream = StreamingMetrics(null_value=self.null_value)
+        stream = StreamingMetrics(null_value=self.null_value, quantiles=self.quantiles)
         try:
             with no_grad():
                 for batch_x, batch_y in loader:

@@ -25,8 +25,25 @@ class StandardScaler:
         self.mean_: float | None = None
         self.std_: float | None = None
 
-    def fit(self, values: np.ndarray) -> "StandardScaler":
+    def fit(self, values: np.ndarray, sample_mask: np.ndarray | None = None) -> "StandardScaler":
+        """Fit on ``values``, optionally restricted to observed entries.
+
+        ``sample_mask`` (same shape as ``values``, nonzero = observed) keeps
+        missing-data sentinels out of the statistics, so a sparsely observed
+        series is normalised by the moments of what was actually measured.
+        An all-missing mask falls back to ``mean 0 / std 1``.
+        """
         values = np.asarray(values, dtype=np.float64)
+        if sample_mask is not None:
+            sample_mask = np.asarray(sample_mask)
+            if sample_mask.shape != values.shape:
+                raise ValueError(
+                    f"sample_mask shape {sample_mask.shape} must match values {values.shape}"
+                )
+            values = values[sample_mask != 0]
+            if values.size == 0:
+                self.mean_, self.std_ = 0.0, 1.0
+                return self
         self.mean_ = float(values.mean())
         std = float(values.std())
         self.std_ = std if std > 1e-12 else 1.0

@@ -82,6 +82,22 @@ class MultivariateTimeSeries:
         minutes = self.start_minute + np.arange(self.num_steps) * self.step_minutes
         return (minutes // (24 * 60)) % 7
 
+    def observation_mask(self, null_value: float | None = 0.0) -> np.ndarray:
+        """``(T, N)`` float64 mask of observed target entries (1 = observed).
+
+        ``null_value`` marks missing observations in channel 0 — the masked
+        loss/metric convention of the traffic datasets, where a reading of 0
+        means a sensor outage rather than an empty road.  ``NaN`` null values
+        are matched with ``np.isnan``; ``None`` declares the series dense and
+        returns all ones.
+        """
+        target = self.values[:, :, 0]
+        if null_value is None:
+            return np.ones(target.shape, dtype=np.float64)
+        if np.isnan(null_value):
+            return (~np.isnan(target)).astype(np.float64)
+        return (target != null_value).astype(np.float64)
+
     def with_time_covariates(self, include_day_of_week: bool = False) -> "MultivariateTimeSeries":
         """Return a copy with time-of-day (and optionally day-of-week) channels appended.
 

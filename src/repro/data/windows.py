@@ -28,6 +28,12 @@ class SlidingWindowDataset:
         Optional unscaled series supplying the targets so that training can
         run on normalised inputs while the loss is computed in original units
         (the convention of DCRNN and the paper).
+    mask:
+        Optional ``(T, N)`` observation mask (1 = observed) appended to every
+        history window as the trailing input channel — the mask-as-channel
+        scheme of mask-aware models (``SAGDFNConfig.mask_input``).  Targets
+        are *not* masked here; the masked loss/metrics handle missing future
+        values through their ``null_value`` convention.
     """
 
     def __init__(
@@ -36,6 +42,7 @@ class SlidingWindowDataset:
         history: int,
         horizon: int,
         target_series: MultivariateTimeSeries | None = None,
+        mask: np.ndarray | None = None,
     ):
         if history < 1 or horizon < 1:
             raise ValueError("history and horizon must be >= 1")
@@ -46,8 +53,15 @@ class SlidingWindowDataset:
             )
         if target_series is not None and target_series.num_steps != series.num_steps:
             raise ValueError("target_series must be aligned with series")
+        if mask is not None:
+            mask = np.asarray(mask)
+            expected = (series.num_steps, series.num_nodes)
+            if mask.shape != expected:
+                raise ValueError(f"mask must have shape (T, N) = {expected}, got {mask.shape}")
+            mask = mask.astype(series.values.dtype, copy=False)[:, :, None]
         self.series = series
         self.target_series = target_series if target_series is not None else series
+        self.mask = mask
         self.history = history
         self.horizon = horizon
 
@@ -61,6 +75,8 @@ class SlidingWindowDataset:
         mid = index + self.history
         end = mid + self.horizon
         x = self.series.values[start:mid]
+        if self.mask is not None:
+            x = np.concatenate([x, self.mask[start:mid]], axis=-1)
         y = self.target_series.values[mid:end, :, :1]
         return x, y
 
@@ -84,6 +100,8 @@ class SlidingWindowDataset:
         x_steps = indices[:, None] + np.arange(self.history)[None, :]
         y_steps = indices[:, None] + self.history + np.arange(self.horizon)[None, :]
         x = self.series.values[x_steps]
+        if self.mask is not None:
+            x = np.concatenate([x, self.mask[x_steps]], axis=-1)
         # Slice the target channel first (a view), so the fancy-index gather
         # copies only the one channel that ends up in ``y``.
         y = self.target_series.values[:, :, :1][y_steps]

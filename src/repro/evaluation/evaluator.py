@@ -63,13 +63,19 @@ def evaluate_neural(
     scaler: StandardScaler | None = None,
     horizons: tuple[int, ...] = (3, 6, 12),
     null_value: float | None = 0.0,
+    quantiles: tuple[float, ...] | None = None,
 ) -> list[HorizonMetrics]:
     """Per-horizon metrics of a trained neural forecaster on ``loader``.
 
     Metrics are accumulated batch-by-batch (streaming), so evaluation memory
-    is bounded by one batch no matter how long the loader is.
+    is bounded by one batch no matter how long the loader is.  For a
+    quantile-head model pass its ``quantiles`` (or rely on the model config's
+    declaration, picked up automatically); point metrics then score the
+    median head.
     """
-    stream = StreamingMetrics(null_value=null_value)
+    if quantiles is None:
+        quantiles = getattr(getattr(model, "config", None), "quantiles", None)
+    stream = StreamingMetrics(null_value=null_value, quantiles=quantiles)
     for output, batch_y in iter_predictions(model, loader, scaler):
         stream.update(output, batch_y)
     return stream.horizon_metrics(horizons)

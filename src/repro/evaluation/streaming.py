@@ -34,15 +34,37 @@ class StreamingMetrics:
         masks NaNs) — the same convention as :mod:`repro.metrics`.
     epsilon:
         Floor applied to ``|target|`` in the MAPE denominator.
+    quantiles:
+        Quantile levels of a probabilistic head, matching the trailing axis
+        of every ``prediction`` passed to :meth:`update` (the target keeps a
+        single trailing channel).  Point metrics are scored on the head
+        closest to the median; additionally a per-quantile **coverage**
+        accumulator (``P(target ≤ prediction_q)``), the mean **pinball**
+        loss and the mean outer **interval width**
+        (``prediction_{q_max} − prediction_{q_min}``) are tracked.  ``None``
+        keeps the point-forecast contract (prediction and target shapes must
+        match exactly).
     """
 
-    def __init__(self, null_value: float | None = 0.0, epsilon: float = 1e-5):
+    def __init__(self, null_value: float | None = 0.0, epsilon: float = 1e-5,
+                 quantiles: tuple[float, ...] | None = None):
         self.null_value = null_value
         self.epsilon = epsilon
+        self.quantiles = None if quantiles is None else tuple(float(q) for q in quantiles)
+        if self.quantiles is not None and not self.quantiles:
+            raise ValueError("quantiles must be non-empty (or None for point metrics)")
+        self._median_index = (
+            0
+            if not self.quantiles
+            else int(np.argmin(np.abs(np.asarray(self.quantiles) - 0.5)))
+        )
         self._abs_sum: np.ndarray | None = None  # (f,) Σ |p - t| over valid entries
         self._sq_sum: np.ndarray | None = None  # (f,) Σ (p - t)²
         self._ape_sum: np.ndarray | None = None  # (f,) Σ |p - t| / max(|t|, ε)
         self._count: np.ndarray | None = None  # (f,) number of valid entries
+        self._coverage_sum: np.ndarray | None = None  # (Q, f) Σ 1[t ≤ p_q]
+        self._pinball_sum: np.ndarray | None = None  # (f,) Σ_q pinball_q / Q
+        self._width_sum: np.ndarray | None = None  # (f,) Σ (p_qmax - p_qmin)
         self.num_batches = 0
         self.num_samples = 0
 
@@ -57,9 +79,26 @@ class StreamingMetrics:
         return ~np.isclose(target, self.null_value)
 
     def update(self, prediction: np.ndarray, target: np.ndarray) -> None:
-        """Fold one batch of shape ``(B, f, …)`` into the running sums."""
+        """Fold one batch of shape ``(B, f, …)`` into the running sums.
+
+        With ``quantiles`` configured, ``prediction`` carries one channel
+        per quantile in its trailing axis and ``target`` a single trailing
+        channel; point metrics score the median head, and the coverage /
+        pinball / interval-width sums are accumulated alongside.  Empty
+        batches (``B == 0``) are accepted and contribute nothing.
+        """
         prediction = np.asarray(prediction, dtype=np.float64)
         target = np.asarray(target, dtype=np.float64)
+        full_prediction = None
+        if self.quantiles is not None:
+            expected = target.shape[:-1] + (len(self.quantiles),)
+            if target.shape[-1:] != (1,) or prediction.shape != expected:
+                raise ValueError(
+                    f"quantile predictions must be shaped {expected} against a "
+                    f"single-channel target, got {prediction.shape} vs {target.shape}"
+                )
+            full_prediction = prediction
+            prediction = prediction[..., self._median_index : self._median_index + 1]
         if prediction.shape != target.shape:
             raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
         if prediction.ndim < 2:
@@ -72,6 +111,10 @@ class StreamingMetrics:
             self._sq_sum = np.zeros(steps)
             self._ape_sum = np.zeros(steps)
             self._count = np.zeros(steps)
+            if self.quantiles is not None:
+                self._coverage_sum = np.zeros((len(self.quantiles), steps))
+                self._pinball_sum = np.zeros(steps)
+                self._width_sum = np.zeros(steps)
         elif steps != self._count.shape[0]:
             raise ValueError(
                 f"forecast length changed mid-stream: {steps} vs {self._count.shape[0]}"
@@ -86,6 +129,20 @@ class StreamingMetrics:
         denominator = np.maximum(np.abs(cleaned), self.epsilon)
         self._ape_sum += (diff / denominator).sum(axis=reduce_axes)
         self._count += mask.sum(axis=reduce_axes)
+        if self.quantiles is not None:
+            levels = np.asarray(self.quantiles)
+            covered = (cleaned <= full_prediction) & mask
+            # Keep the step axis (1) and the trailing quantile axis; reduce
+            # the rest, then move quantiles first: (Q, f).
+            cov_axes = (0,) + tuple(range(2, covered.ndim - 1))
+            self._coverage_sum += np.moveaxis(covered.sum(axis=cov_axes), -1, 0)
+            residual = cleaned - full_prediction
+            per_entry = np.where(residual >= 0.0, levels * residual, (levels - 1.0) * residual)
+            # ``reduce_axes`` covers every axis but the step axis — including
+            # the trailing quantile axis — so this also averages over Q.
+            self._pinball_sum += (per_entry * mask).sum(axis=reduce_axes) / len(self.quantiles)
+            width = (full_prediction[..., -1:] - full_prediction[..., :1]) * mask
+            self._width_sum += width.sum(axis=reduce_axes)
         self.num_batches += 1
         self.num_samples += prediction.shape[0]
 
@@ -96,16 +153,41 @@ class StreamingMetrics:
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(count > 0, numerator / np.maximum(count, 1.0), np.nan)
 
+    @staticmethod
+    def _coverage_key(level: float) -> str:
+        return f"coverage@{level:g}"
+
     def compute(self) -> dict[str, float]:
-        """Overall masked metrics over everything seen so far."""
-        if self._count is None or self._count.sum() <= 0:
-            return {"mae": float("nan"), "rmse": float("nan"), "mape": float("nan")}
-        total = float(self._count.sum())
-        return {
-            "mae": float(self._abs_sum.sum() / total),
-            "rmse": float(np.sqrt(self._sq_sum.sum() / total)),
-            "mape": float(self._ape_sum.sum() / total),
-        }
+        """Overall masked metrics over everything seen so far.
+
+        Quantile mode adds ``pinball``, ``interval_width`` and one
+        ``coverage@<q>`` entry per level.  With no valid entries accumulated
+        (nothing seen yet, all-masked windows, or only empty batches) every
+        metric is an explicit NaN — never a divide-by-zero artefact.
+        """
+        no_data = self._count is None or self._count.sum() <= 0
+        if no_data:
+            result = {"mae": float("nan"), "rmse": float("nan"), "mape": float("nan")}
+        else:
+            total = float(self._count.sum())
+            result = {
+                "mae": float(self._abs_sum.sum() / total),
+                "rmse": float(np.sqrt(self._sq_sum.sum() / total)),
+                "mape": float(self._ape_sum.sum() / total),
+            }
+        if self.quantiles is not None:
+            if no_data:
+                result["pinball"] = float("nan")
+                result["interval_width"] = float("nan")
+                for level in self.quantiles:
+                    result[self._coverage_key(level)] = float("nan")
+            else:
+                result["pinball"] = float(self._pinball_sum.sum() / total)
+                result["interval_width"] = float(self._width_sum.sum() / total)
+                coverage = self._coverage_sum.sum(axis=1) / total
+                for level, value in zip(self.quantiles, coverage):
+                    result[self._coverage_key(level)] = float(value)
+        return result
 
     def horizon_metrics(self, horizons: tuple[int, ...] = (3, 6, 12)) -> list[HorizonMetrics]:
         """Per-horizon metrics (1-based forecast steps), as in the paper's tables."""

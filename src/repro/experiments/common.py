@@ -46,6 +46,8 @@ class ExperimentData:
     horizon: int
     batch_size: int
     adjacency: np.ndarray | None
+    exog_dim: int = 0
+    mask_input: bool = False
 
     @property
     def num_nodes(self) -> int:
@@ -53,8 +55,13 @@ class ExperimentData:
 
     @property
     def input_dim(self) -> int:
-        """Model input channels: target + time-of-day covariate."""
-        return 2
+        """Total model input channels the loaders emit.
+
+        Base is target + time-of-day (the legacy width 2); scenario data adds
+        ``exog_dim`` exogenous covariate channels and, for missing-data runs,
+        the trailing observation-mask channel.
+        """
+        return 2 + self.exog_dim + (1 if self.mask_input else 0)
 
     @property
     def steps_per_day(self) -> int:
@@ -77,10 +84,24 @@ def _make_loader(
     batch_size: int,
     shuffle: bool,
     seed: int,
+    include_day_of_week: bool = False,
+    mask_input: bool = False,
+    null_value: float | None = 0.0,
 ) -> DataLoader:
-    with_covariates = split.with_time_covariates()
+    with_covariates = split.with_time_covariates(include_day_of_week=include_day_of_week)
     with_covariates.values[..., 0] = scaler.transform(with_covariates.values[..., 0])
-    dataset = SlidingWindowDataset(with_covariates, history, horizon, target_series=split)
+    mask = None
+    if mask_input:
+        mask = split.observation_mask(null_value)
+        # Zero-impute missing targets *in normalised space* (= mean-impute in
+        # original units); the mask channel appended by the dataset tells the
+        # model which entries were imputed.  ``where`` (not ``*=``) so NaN
+        # sentinels are replaced too.  Targets stay untouched — the masked
+        # loss handles missing futures through ``null_value``.
+        with_covariates.values[..., 0] = np.where(mask != 0, with_covariates.values[..., 0], 0.0)
+    dataset = SlidingWindowDataset(
+        with_covariates, history, horizon, target_series=split, mask=mask
+    )
     return DataLoader(dataset, batch_size=batch_size, shuffle=shuffle, seed=seed)
 
 
@@ -91,12 +112,23 @@ def prepare_data_from_series(
     batch_size: int = 16,
     seed: int = 0,
     name: str | None = None,
+    include_day_of_week: bool = False,
+    mask_input: bool = False,
+    null_value: float | None = 0.0,
 ) -> ExperimentData:
     """Split an existing series and build the three data loaders.
 
     Follows the paper's 70/10/20 chronological split, but guarantees that the
     validation and test segments are long enough to hold at least one
     ``history + horizon`` window (relevant for short, CPU-scale series).
+
+    Scenario knobs (defaults reproduce the legacy point/dense pipeline):
+    ``include_day_of_week`` appends the day-of-week covariate as one
+    exogenous channel; ``mask_input`` switches on the missing-data pipeline —
+    the scaler is fit on observed training entries only, missing targets are
+    mean-imputed in normalised space, and each loader emits the observation
+    mask as the trailing input channel.  ``null_value`` is the sentinel that
+    marks a missing observation (0 for the traffic datasets; ``NaN`` works).
     """
     total = series.num_steps
     required = history + horizon
@@ -111,7 +143,11 @@ def prepare_data_from_series(
     train = series.slice_steps(0, train_steps)
     val = series.slice_steps(train_steps, train_steps + val_steps)
     test = series.slice_steps(train_steps + val_steps, total)
-    scaler = StandardScaler().fit(train.values[..., 0])
+    sample_mask = train.observation_mask(null_value) if mask_input else None
+    scaler = StandardScaler().fit(train.values[..., 0], sample_mask=sample_mask)
+    scenario = dict(
+        include_day_of_week=include_day_of_week, mask_input=mask_input, null_value=null_value
+    )
     return ExperimentData(
         name=name or series.name,
         series=series,
@@ -119,13 +155,21 @@ def prepare_data_from_series(
         val=val,
         test=test,
         scaler=scaler,
-        train_loader=_make_loader(train, scaler, history, horizon, batch_size, True, seed + 1),
-        val_loader=_make_loader(val, scaler, history, horizon, batch_size, False, seed + 2),
-        test_loader=_make_loader(test, scaler, history, horizon, batch_size, False, seed + 3),
+        train_loader=_make_loader(
+            train, scaler, history, horizon, batch_size, True, seed + 1, **scenario
+        ),
+        val_loader=_make_loader(
+            val, scaler, history, horizon, batch_size, False, seed + 2, **scenario
+        ),
+        test_loader=_make_loader(
+            test, scaler, history, horizon, batch_size, False, seed + 3, **scenario
+        ),
         history=history,
         horizon=horizon,
         batch_size=batch_size,
         adjacency=series.adjacency,
+        exog_dim=1 if include_day_of_week else 0,
+        mask_input=mask_input,
     )
 
 
@@ -152,7 +196,12 @@ def small_sagdfn_config(data: ExperimentData, **overrides) -> SAGDFNConfig:
     num_nodes = data.num_nodes
     defaults = dict(
         num_nodes=num_nodes,
-        input_dim=data.input_dim,
+        # Endogenous width stays the legacy 2 (target + time-of-day); the
+        # scenario channels are declared separately so that
+        # ``config.encoder_input_width == data.input_dim``.
+        input_dim=2,
+        exog_dim=data.exog_dim,
+        mask_input=data.mask_input,
         output_dim=1,
         history=data.history,
         horizon=data.horizon,

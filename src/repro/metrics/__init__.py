@@ -2,11 +2,24 @@
 
 from repro.metrics.forecasting import (
     HorizonMetrics,
+    enforce_quantile_monotonicity,
     horizon_metrics,
     mae,
     mape,
     metrics_dict,
+    pinball,
+    quantile_coverage,
     rmse,
 )
 
-__all__ = ["mae", "rmse", "mape", "metrics_dict", "horizon_metrics", "HorizonMetrics"]
+__all__ = [
+    "mae",
+    "rmse",
+    "mape",
+    "pinball",
+    "quantile_coverage",
+    "enforce_quantile_monotonicity",
+    "metrics_dict",
+    "horizon_metrics",
+    "HorizonMetrics",
+]

@@ -51,6 +51,54 @@ def mape(prediction: np.ndarray, target: np.ndarray, null_value: float | None = 
     return float((np.abs(prediction[mask] - target[mask]) / denominator).mean())
 
 
+def pinball(prediction: np.ndarray, target: np.ndarray, quantiles,
+            null_value: float | None = 0.0) -> float:
+    """Masked mean pinball loss over a trailing quantile axis.
+
+    ``prediction`` has one channel per quantile in its last axis; ``target``
+    a single trailing channel.  Averages over observed entries and quantiles
+    (matching :func:`repro.nn.loss.masked_pinball`).
+    """
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    quantiles = np.asarray(quantiles, dtype=np.float64).reshape(-1)
+    mask = _mask(target, null_value)
+    if not mask.any():
+        return float("nan")
+    diff = target - prediction  # broadcasts (…, 1) against (…, Q)
+    per_entry = np.where(diff >= 0.0, quantiles * diff, (quantiles - 1.0) * diff)
+    valid = np.broadcast_to(mask, per_entry.shape)
+    return float(per_entry[valid].mean())
+
+
+def quantile_coverage(prediction: np.ndarray, target: np.ndarray, quantiles,
+                      null_value: float | None = 0.0) -> dict[float, float]:
+    """Empirical coverage of every quantile head: ``P(target <= prediction_q)``.
+
+    A calibrated head predicts coverage ≈ q; the streaming accumulator in
+    :class:`repro.evaluation.streaming.StreamingMetrics` reports the same
+    quantity batch-by-batch.
+    """
+    prediction, target = np.asarray(prediction), np.asarray(target)
+    quantiles = np.asarray(quantiles, dtype=np.float64).reshape(-1)
+    mask = _mask(target, null_value)
+    if not mask.any():
+        return {float(q): float("nan") for q in quantiles}
+    covered = (target <= prediction) & np.broadcast_to(mask, prediction.shape)
+    flat_valid = float(mask.sum())
+    counts = covered.reshape(-1, quantiles.size).sum(axis=0)
+    return {float(q): float(c / flat_valid) for q, c in zip(quantiles, counts)}
+
+
+def enforce_quantile_monotonicity(prediction: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Sort the quantile axis, fixing any quantile crossing.
+
+    Rearranging crossed quantile predictions into non-decreasing order never
+    increases the pinball loss (the classical non-crossing repair), and
+    makes the coverage curve monotone in ``q``.  Returns a sorted copy.
+    """
+    return np.sort(np.asarray(prediction), axis=axis)
+
+
 def metrics_dict(prediction: np.ndarray, target: np.ndarray,
                  null_value: float | None = 0.0) -> dict[str, float]:
     """All three metrics in one dictionary."""

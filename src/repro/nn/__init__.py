@@ -29,6 +29,8 @@ from repro.nn.loss import (
     mse_loss,
     huber_loss,
     mape_loss,
+    pinball_loss,
+    masked_pinball,
     masked_mae,
     masked_mse,
     masked_rmse,
@@ -68,6 +70,8 @@ __all__ = [
     "mse_loss",
     "huber_loss",
     "mape_loss",
+    "pinball_loss",
+    "masked_pinball",
     "masked_mae",
     "masked_mse",
     "masked_rmse",

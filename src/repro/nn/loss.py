@@ -50,6 +50,64 @@ def mape_loss(prediction: Tensor, target: Tensor, epsilon: float = 1e-5) -> Tens
     return ((prediction - target).abs() / denominator).mean()
 
 
+def _quantile_array(quantiles) -> np.ndarray:
+    quantiles = np.asarray(quantiles, dtype=np.float64).reshape(-1)
+    if quantiles.size == 0:
+        raise ValueError("quantiles must be non-empty")
+    if np.any(quantiles <= 0.0) or np.any(quantiles >= 1.0):
+        raise ValueError(f"quantiles must lie strictly inside (0, 1): {quantiles.tolist()}")
+    return quantiles
+
+
+def pinball_loss(prediction: Tensor, target: Tensor, quantiles) -> Tensor:
+    """Mean pinball (quantile) loss over a trailing quantile axis.
+
+    ``prediction`` carries one channel per quantile in its last axis;
+    ``target`` has a single trailing channel and broadcasts against it.  The
+    per-entry loss is ``max(q·(t − p), (q − 1)·(t − p))`` — at ``q = 0.5``
+    this is exactly ``0.5·|t − p|``, so a lone median head reduces to half
+    the MAE.
+    """
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    quantiles = _quantile_array(quantiles)
+    if prediction.shape[-1] != quantiles.size:
+        raise ValueError(
+            f"prediction has {prediction.shape[-1]} quantile channels, "
+            f"expected {quantiles.size}"
+        )
+    diff = target - prediction  # broadcasts (…, 1) against (…, Q)
+    from repro.tensor import where
+
+    q = Tensor(quantiles)
+    return where(diff.data >= 0.0, q * diff, (q - 1.0) * diff).mean()
+
+
+def masked_pinball(
+    prediction: Tensor, target: Tensor, quantiles, null_value: float | None = 0.0
+) -> Tensor:
+    """Pinball loss over entries whose target differs from ``null_value``.
+
+    The mask is derived from the single-channel target and broadcast over
+    the quantile axis; masked entries contribute neither loss nor gradient.
+    The result averages over the observed entries *and* the quantile axis,
+    so ``masked_pinball(p, t, (0.5,)) == 0.5 · masked_mae(p, t)``.
+    """
+    prediction, target = _as_tensor(prediction), _as_tensor(target)
+    quantiles = _quantile_array(quantiles)
+    if prediction.shape[-1] != quantiles.size:
+        raise ValueError(
+            f"prediction has {prediction.shape[-1]} quantile channels, "
+            f"expected {quantiles.size}"
+        )
+    cleaned, mask = _masked_target(target, null_value)
+    diff = cleaned - prediction
+    from repro.tensor import where
+
+    q = Tensor(quantiles)
+    per_entry = where(diff.data >= 0.0, q * diff, (q - 1.0) * diff)
+    return (per_entry * Tensor(mask)).mean()
+
+
 def _masked_target(target: Tensor, null_value: float | None) -> tuple[Tensor, np.ndarray]:
     """Return the target with NaNs removed and the normalised inclusion mask.
 

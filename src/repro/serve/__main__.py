@@ -66,8 +66,19 @@ def _load_windows(args, service: ForecastService) -> np.ndarray:
     config = service.config
     if not config:
         raise SystemExit("bundle has no model config; synthetic requests need --input")
-    shape = (args.requests, config["history"], config["num_nodes"], config["input_dim"])
-    return np.random.default_rng(args.seed).normal(size=shape)
+    # Scenario-aware request width: endogenous channels, declared exogenous
+    # covariates, plus the observation-mask channel of mask-aware models
+    # (pre-scenario bundle configs lack the fields → point/dense width).
+    width = (
+        int(config["input_dim"])
+        + int(config.get("exog_dim", 0) or 0)
+        + int(bool(config.get("mask_input", False)))
+    )
+    shape = (args.requests, config["history"], config["num_nodes"], width)
+    windows = np.random.default_rng(args.seed).normal(size=shape)
+    if config.get("mask_input", False):
+        windows[..., -1] = 1.0  # synthetic smoke requests are fully observed
+    return windows
 
 
 def main(argv=None) -> int:

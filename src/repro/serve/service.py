@@ -111,6 +111,11 @@ class ForecastService:
         self.scaler = scaler
         self._apply_memory_knobs(model, chunk_size, memory_budget_mb)
         self.config = config if config is not None else self._config_dict(model)
+        # Scenario fields (absent in pre-scenario configs → point/dense).
+        quantiles = self.config.get("quantiles") if self.config else None
+        self.quantiles = None if quantiles is None else tuple(float(q) for q in quantiles)
+        self.mask_input = bool(self.config.get("mask_input", False)) if self.config else False
+        self.exog_dim = int(self.config.get("exog_dim", 0) or 0) if self.config else 0
         model.eval()
         parameters = model.parameters()
         self._dtype = parameters[0].dtype if parameters else np.dtype(np.float64)
@@ -275,20 +280,39 @@ class ForecastService:
             )
         return self.model(history)
 
-    def predict(self, history: np.ndarray) -> np.ndarray:
+    def predict(self, history: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         """Forecast a batch of normalised histories ``(B, h, N, C)``.
 
         Returns predictions of shape ``(B, f, N, 1)`` in original units
-        (inverse-transformed with the bundled scaler).  Through the default
-        serving kernel the output matches the ``Trainer.evaluate`` forward
-        path to ≤ 1e-10 relative in float64 (BLAS summation-order noise;
-        ~1e-7 in float32); construct the service with ``use_kernel=False``
-        when bit-identical parity with the trainer forward is required.
+        (inverse-transformed with the bundled scaler) — or ``(B, f, N, Q)``
+        for a quantile-head model, one column per level of
+        ``self.quantiles``.  ``mask`` optionally supplies the observation
+        mask ``(B, h, N)`` of a mask-aware model (1 = observed); it is
+        appended as the trailing input channel, exactly as the training data
+        layer does.  A mask-aware request may equally arrive with the mask
+        already in ``history``'s last channel, in which case ``mask`` must
+        be omitted.  Through the default serving kernel the output matches
+        the ``Trainer.evaluate`` forward path to ≤ 1e-10 relative in float64
+        (BLAS summation-order noise; ~1e-7 in float32); construct the
+        service with ``use_kernel=False`` when bit-identical parity with the
+        trainer forward is required.
         """
         history = np.asarray(history)
         if history.ndim != 4:
             raise ValueError(
                 f"history must be (batch, steps, nodes, channels), got shape {history.shape}"
+            )
+        if mask is not None:
+            if not self.mask_input:
+                raise ValueError("model was not trained with mask_input; drop the mask")
+            mask = np.asarray(mask)
+            if mask.shape != history.shape[:3]:
+                raise ValueError(
+                    f"mask must be (batch, steps, nodes) = {history.shape[:3]}, "
+                    f"got {mask.shape}"
+                )
+            history = np.concatenate(
+                [history, mask[..., None].astype(history.dtype, copy=False)], axis=-1
             )
         with no_grad():
             output = self._forward(Tensor(history, dtype=self._dtype))
@@ -297,23 +321,26 @@ class ForecastService:
         self.num_requests += history.shape[0]
         return output.data
 
-    def predict_one(self, window: np.ndarray) -> np.ndarray:
-        """Forecast a single history window ``(h, N, C)`` → ``(f, N, 1)``."""
+    def predict_one(self, window: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Forecast a single history window ``(h, N, C)`` → ``(f, N, ·)``."""
         window = np.asarray(window)
         if window.ndim != 3:
             raise ValueError(f"window must be (steps, nodes, channels), got {window.shape}")
-        return self.predict(window[None])[0]
+        if mask is not None:
+            mask = np.asarray(mask)[None]
+        return self.predict(window[None], mask=mask)[0]
 
     def evaluate(self, loader, null_value: float | None = 0.0) -> dict[str, float]:
         """Streaming masked metrics of the served model over ``loader``.
 
         Uses the same :class:`~repro.evaluation.streaming.StreamingMetrics`
-        accumulator as ``Trainer.evaluate``, but through the frozen-graph
-        forward — memory stays bounded by one batch.
+        accumulator as ``Trainer.evaluate`` — quantile heads included —
+        but through the frozen-graph forward; memory stays bounded by one
+        batch.
         """
         from repro.evaluation.streaming import StreamingMetrics
 
-        stream = StreamingMetrics(null_value=null_value)
+        stream = StreamingMetrics(null_value=null_value, quantiles=self.quantiles)
         for batch_x, batch_y in loader:
             stream.update(self.predict(batch_x), batch_y)
         return stream.compute()

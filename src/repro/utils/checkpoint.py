@@ -37,7 +37,11 @@ import numpy as np
 
 from repro.nn.module import Module
 
-BUNDLE_VERSION = 1
+# Version 2 added the scenario record (quantile head, declared exogenous
+# channels, observation-mask input).  Version-1 bundles predate scenarios and
+# load as point-forecast / dense-data models; their config simply lacks the
+# scenario fields, so the dataclass defaults apply.
+BUNDLE_VERSION = 2
 
 _METADATA_KEY = "__metadata__"
 _BUNDLE_KEY = "__bundle__"
@@ -126,6 +130,13 @@ class CheckpointBundle:
         of the same type (``scheduler.load_state_dict``) to resume the
         schedule — epoch counter and current learning rate included — instead
         of restarting it.
+    scenario:
+        ``{"quantiles", "exog_dim", "mask_input"}`` — the forecasting
+        scenario the model was trained for (version ≥ 2 bundles).  Pre-
+        scenario bundles yield the point/dense default
+        ``{"quantiles": None, "exog_dim": 0, "mask_input": False}``; the
+        same fields also live in ``config``, this record just makes them
+        inspectable without rebuilding the model.
     metadata:
         Free-form user metadata.
     version:
@@ -140,6 +151,9 @@ class CheckpointBundle:
     sampler_candidates: np.ndarray | None = None
     index_set: np.ndarray | None = None
     scheduler_state: dict | None = None
+    scenario: dict = field(
+        default_factory=lambda: {"quantiles": None, "exog_dim": 0, "mask_input": False}
+    )
     metadata: dict = field(default_factory=dict)
     version: int = BUNDLE_VERSION
 
@@ -185,12 +199,26 @@ def save_bundle(
             "std": float(scaler.std_),
         }
 
+    scenario = {
+        "quantiles": None,
+        "exog_dim": 0,
+        "mask_input": False,
+    }
+    if config_dict is not None:
+        quantiles = config_dict.get("quantiles")
+        scenario = {
+            "quantiles": None if quantiles is None else [float(q) for q in quantiles],
+            "exog_dim": int(config_dict.get("exog_dim", 0) or 0),
+            "mask_input": bool(config_dict.get("mask_input", False)),
+        }
+
     bundle_info = {
         "version": BUNDLE_VERSION,
         "model_type": type(model).__name__,
         "dtype": dtype,
         "config": config_dict,
         "scaler": scaler_state,
+        "scenario": scenario,
     }
     payload[_BUNDLE_KEY] = np.array(json.dumps(bundle_info))
     payload[_METADATA_KEY] = np.array(json.dumps(metadata or {}))
@@ -247,6 +275,11 @@ def load_bundle(path: str | Path) -> CheckpointBundle:
         raise ValueError(
             f"bundle version {version} is newer than the supported {BUNDLE_VERSION}"
         )
+    scenario = info.get("scenario") or {
+        "quantiles": None,
+        "exog_dim": 0,
+        "mask_input": False,
+    }
     return CheckpointBundle(
         state=state,
         config=info.get("config") or {},
@@ -256,6 +289,7 @@ def load_bundle(path: str | Path) -> CheckpointBundle:
         sampler_candidates=candidates,
         index_set=index_set,
         scheduler_state=scheduler_state,
+        scenario=scenario,
         metadata=metadata,
         version=version,
     )

@@ -109,3 +109,93 @@ def test_property_streaming_agrees_with_direct(seed, null_value, batches):
             assert np.isnan(streamed[key])
         else:
             assert streamed[key] == pytest.approx(direct[key], rel=1e-9)
+
+
+class TestStreamingQuantileEdgeCases:
+    """Degenerate-input regressions for the quantile-mode accumulators.
+
+    Each of these previously risked a NaN-by-division RuntimeWarning (or a
+    shape crash): a window whose targets are entirely null, a head with a
+    single quantile level, and a zero-row batch left over after sample
+    dropping.  All must produce clean results — explicit NaNs where there is
+    genuinely no data, real numbers everywhere else, and never a warning.
+    """
+
+    QUANTILES = (0.1, 0.5, 0.9)
+
+    def _quantile_stream(self, quantiles=QUANTILES):
+        return StreamingMetrics(null_value=0.0, quantiles=quantiles)
+
+    def test_all_masked_window_yields_explicit_nans(self):
+        stream = self._quantile_stream()
+        prediction = np.ones((2, 3, 4, len(self.QUANTILES)))
+        target = np.zeros((2, 3, 4, 1))  # every entry is the null sentinel
+        with np.errstate(invalid="raise", divide="raise"):
+            stream.update(prediction, target)
+            metrics = stream.compute()
+        assert all(np.isnan(v) for v in metrics.values())
+        assert set(metrics) == {
+            "mae", "rmse", "mape", "pinball", "interval_width",
+            "coverage@0.1", "coverage@0.5", "coverage@0.9",
+        }
+
+    def test_all_masked_window_then_data_recovers(self):
+        stream = self._quantile_stream()
+        stream.update(np.ones((1, 2, 3, 3)), np.zeros((1, 2, 3, 1)))
+        rng = np.random.default_rng(0)
+        target = np.abs(rng.normal(2.0, 1.0, size=(2, 2, 3, 1))) + 0.5
+        stream.update(np.sort(rng.normal(2.0, 1.0, size=(2, 2, 3, 3)), axis=-1), target)
+        metrics = stream.compute()
+        assert all(np.isfinite(v) for v in metrics.values())
+
+    def test_single_quantile_config(self):
+        stream = self._quantile_stream(quantiles=(0.5,))
+        rng = np.random.default_rng(1)
+        target = np.abs(rng.normal(2.0, 1.0, size=(2, 3, 4, 1))) + 0.5
+        prediction = rng.normal(2.0, 1.0, size=(2, 3, 4, 1))
+        with np.errstate(invalid="raise", divide="raise"):
+            stream.update(prediction, target)
+            metrics = stream.compute()
+        # one head: the median slice *is* the prediction, the interval is empty
+        assert metrics["mae"] == pytest.approx(
+            _streaming_metrics(prediction[..., 0], target[..., 0])["mae"]
+        )
+        assert metrics["interval_width"] == 0.0
+        assert metrics["pinball"] == pytest.approx(0.5 * metrics["mae"], rel=1e-12)
+        assert 0.0 <= metrics["coverage@0.5"] <= 1.0
+
+    def test_empty_batch_after_drop_contributes_nothing(self):
+        stream = self._quantile_stream()
+        rng = np.random.default_rng(2)
+        target = np.abs(rng.normal(2.0, 1.0, size=(2, 3, 4, 1))) + 0.5
+        prediction = np.sort(rng.normal(2.0, 1.0, size=(2, 3, 4, 3)), axis=-1)
+        stream.update(prediction, target)
+        reference = stream.compute()
+        with np.errstate(invalid="raise", divide="raise"):
+            stream.update(np.empty((0, 3, 4, 3)), np.empty((0, 3, 4, 1)))
+        assert stream.compute() == reference
+
+    def test_only_empty_batches_yield_explicit_nans(self):
+        stream = self._quantile_stream()
+        with np.errstate(invalid="raise", divide="raise"):
+            stream.update(np.empty((0, 3, 4, 3)), np.empty((0, 3, 4, 1)))
+            metrics = stream.compute()
+        assert all(np.isnan(v) for v in metrics.values())
+
+    def test_point_mode_empty_batch(self):
+        stream = StreamingMetrics(null_value=0.0)
+        with np.errstate(invalid="raise", divide="raise"):
+            stream.update(np.empty((0, 3, 4)), np.empty((0, 3, 4)))
+            metrics = stream.compute()
+        assert all(np.isnan(v) for v in metrics.values())
+
+    def test_quantile_shape_validation(self):
+        stream = self._quantile_stream()
+        with pytest.raises(ValueError, match="quantile predictions"):
+            stream.update(np.ones((2, 3, 4, 2)), np.ones((2, 3, 4, 1)))
+        with pytest.raises(ValueError, match="quantile predictions"):
+            stream.update(np.ones((2, 3, 4, 3)), np.ones((2, 3, 4, 2)))
+
+    def test_empty_quantile_tuple_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            StreamingMetrics(quantiles=())

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) for the scenario-system math.
+
+Covers the analytic identities the quantile / missing-data machinery must
+satisfy: pinball at the median is half the MAE, sorted quantile heads give
+monotone coverage, crossing-repair never hurts the pinball loss, and masked
+entries are invisible to both the loss value and every gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation.streaming import StreamingMetrics
+from repro.metrics import enforce_quantile_monotonicity, mae, pinball, quantile_coverage
+from repro.nn.loss import masked_mae, masked_pinball, pinball_loss
+from repro.tensor import Tensor
+
+finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=0.5, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def forecast_arrays(elements, max_batch: int = 3, max_nodes: int = 4):
+    """(B, f, N, 1)-shaped arrays, the loss/metric input layout."""
+    shapes = st.tuples(
+        st.integers(1, max_batch), st.integers(1, 3), st.integers(1, max_nodes), st.just(1)
+    )
+    return shapes.flatmap(lambda shape: arrays(np.float64, shape, elements=elements))
+
+
+quantile_levels = st.lists(
+    st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+    min_size=2,
+    max_size=5,
+    unique=True,
+).map(lambda qs: tuple(sorted(qs)))
+
+
+# --------------------------------------------------------------------- #
+# Pinball ↔ MAE identity
+# --------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None)
+@given(forecast_arrays(finite))
+def test_pinball_at_median_is_half_mae_numpy(target):
+    prediction = target * 0.5 + 1.0
+    assert np.isclose(
+        pinball(prediction, target, (0.5,), null_value=None),
+        0.5 * mae(prediction, target, null_value=None),
+        rtol=0,
+        atol=1e-12,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(forecast_arrays(positive))
+def test_masked_pinball_at_median_is_half_masked_mae(target):
+    prediction = Tensor(target * 0.8 + 0.1)
+    target_tensor = Tensor(target)
+    half_mae = 0.5 * float(masked_mae(prediction, target_tensor).data)
+    assert np.isclose(
+        float(masked_pinball(prediction, target_tensor, (0.5,)).data),
+        half_mae,
+        rtol=0,
+        atol=1e-12,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(forecast_arrays(finite))
+def test_unmasked_pinball_loss_matches_numpy_reference(target):
+    quantiles = (0.25, 0.5, 0.75)
+    prediction = np.concatenate([target * s for s in (0.5, 1.0, 1.5)], axis=-1)
+    assert np.isclose(
+        float(pinball_loss(Tensor(prediction), Tensor(target), quantiles).data),
+        pinball(prediction, target, quantiles, null_value=None),
+        rtol=1e-12,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Coverage / crossing monotonicity
+# --------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None)
+@given(forecast_arrays(finite), quantile_levels)
+def test_sorted_heads_give_monotone_coverage(target, quantiles):
+    rng = np.random.default_rng(7)
+    raw = target + rng.normal(size=target.shape[:-1] + (len(quantiles),))
+    prediction = enforce_quantile_monotonicity(raw)
+    coverage = quantile_coverage(prediction, target, quantiles, null_value=None)
+    values = [coverage[q] for q in quantiles]
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(forecast_arrays(finite), quantile_levels)
+def test_crossing_repair_never_increases_pinball(target, quantiles):
+    rng = np.random.default_rng(11)
+    raw = target + rng.normal(size=target.shape[:-1] + (len(quantiles),))
+    repaired = enforce_quantile_monotonicity(raw)
+    assert np.all(np.diff(repaired, axis=-1) >= 0.0)
+    assert (
+        pinball(repaired, target, quantiles, null_value=None)
+        <= pinball(raw, target, quantiles, null_value=None) + 1e-12
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(forecast_arrays(positive), quantile_levels)
+def test_streaming_coverage_monotone_for_sorted_predictions(target, quantiles):
+    rng = np.random.default_rng(3)
+    prediction = enforce_quantile_monotonicity(
+        target + rng.normal(size=target.shape[:-1] + (len(quantiles),))
+    )
+    stream = StreamingMetrics(null_value=0.0, quantiles=quantiles)
+    stream.update(prediction, target)
+    metrics = stream.compute()
+    values = [metrics[f"coverage@{q:g}"] for q in quantiles]
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+    assert metrics["interval_width"] >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# Mask invariance: missing entries affect neither loss nor gradients
+# --------------------------------------------------------------------- #
+def _masked_case(loss_kind: str):
+    """A prediction/target pair with missing targets and its loss closure."""
+    rng = np.random.default_rng(42)
+    target = np.abs(rng.normal(2.0, 1.0, size=(2, 3, 4, 1))) + 0.5
+    missing = rng.random(target.shape) < 0.3
+    target[missing] = 0.0  # the masked-loss null sentinel
+    if loss_kind == "pinball":
+        quantiles = (0.1, 0.5, 0.9)
+        prediction = rng.normal(2.0, 1.0, size=target.shape[:-1] + (3,))
+
+        def loss_fn(pred: Tensor) -> Tensor:
+            return masked_pinball(pred, Tensor(target), quantiles)
+
+        mask = np.broadcast_to(~missing, prediction.shape)
+    else:
+        prediction = rng.normal(2.0, 1.0, size=target.shape)
+
+        def loss_fn(pred: Tensor) -> Tensor:
+            return masked_mae(pred, Tensor(target))
+
+        mask = ~missing
+    return prediction, missing, mask, loss_fn
+
+
+@pytest.mark.parametrize("loss_kind", ["mae", "pinball"])
+def test_gradient_is_zero_at_masked_entries(loss_kind):
+    prediction, _, mask, loss_fn = _masked_case(loss_kind)
+    pred = Tensor(prediction, requires_grad=True)
+    loss_fn(pred).backward()
+    assert np.all(pred.grad[~mask] == 0.0)
+    assert np.any(pred.grad[mask] != 0.0)
+
+
+@pytest.mark.parametrize("loss_kind", ["mae", "pinball"])
+def test_loss_bitwise_invariant_to_masked_predictions(loss_kind):
+    prediction, _, mask, loss_fn = _masked_case(loss_kind)
+    baseline = float(loss_fn(Tensor(prediction)).data)
+    perturbed = prediction.copy()
+    perturbed[~mask] += np.random.default_rng(0).normal(0.0, 100.0, size=(~mask).sum())
+    assert float(loss_fn(Tensor(perturbed)).data) == baseline
+
+    grad_base = Tensor(prediction, requires_grad=True)
+    loss_fn(grad_base).backward()
+    grad_pert = Tensor(perturbed, requires_grad=True)
+    loss_fn(grad_pert).backward()
+    np.testing.assert_array_equal(grad_base.grad[mask], grad_pert.grad[mask])
+
+
+@pytest.mark.parametrize("loss_kind", ["mae", "pinball"])
+def test_finite_difference_confirms_masked_entries_are_dead(loss_kind):
+    """Numerical d(loss)/d(prediction) at masked entries is exactly zero."""
+    prediction, _, mask, loss_fn = _masked_case(loss_kind)
+    baseline = float(loss_fn(Tensor(prediction)).data)
+    masked_indices = np.argwhere(~mask)
+    for index in map(tuple, masked_indices[:5]):
+        for eps in (1e-3, 1.0):
+            bumped = prediction.copy()
+            bumped[index] += eps
+            assert float(loss_fn(Tensor(bumped)).data) == baseline
+
+
+def test_streaming_metrics_invariant_to_masked_predictions():
+    rng = np.random.default_rng(5)
+    target = np.abs(rng.normal(2.0, 1.0, size=(4, 3, 5, 1))) + 0.5
+    missing = rng.random(target.shape) < 0.4
+    target[missing] = 0.0
+    quantiles = (0.1, 0.5, 0.9)
+    prediction = rng.normal(2.0, 1.0, size=target.shape[:-1] + (3,))
+    perturbed = prediction.copy()
+    perturbed += np.broadcast_to(missing, perturbed.shape) * rng.normal(
+        0.0, 50.0, size=perturbed.shape
+    )
+
+    def run(pred):
+        stream = StreamingMetrics(null_value=0.0, quantiles=quantiles)
+        stream.update(pred, target)
+        return stream.compute()
+
+    assert run(prediction) == run(perturbed)
