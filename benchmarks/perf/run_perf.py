@@ -20,7 +20,14 @@ Times the three costs that dominate SAGDFN training at Table VI/VII scales
   times and max relative deviations), and the serve throughput-vs-batch
   curve of the kernel.  ``--assert-recurrence-speedup`` /
   ``--assert-serve-batch-growth`` gate CI on the fused speedup and on the
-  batch-8-vs-batch-1 throughput ratio.
+  batch-8-vs-batch-1 throughput ratio;
+* ``backends`` — per-op wall time of the three registry ops (attention
+  pair scoring, diffusion aggregation, fused GRU gates) on every built-in
+  execution backend (schema v5).  Unavailable backends are recorded with a
+  reason instead of numbers; ``--assert-backend-speedup`` gates CI on the
+  numba-vs-numpy pair-scoring speedup (and fails when numba is absent).
+  ``--backend`` reruns the whole suite on a specific backend by routing
+  the model-level benches through ``REPRO_BACKEND``.
 
 Results are written as JSON (default: ``BENCH_attention.json`` at the repo
 root) so subsequent PRs have a perf trajectory to compare against::
@@ -41,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 import tracemalloc
@@ -52,6 +60,8 @@ if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
 
 import numpy as np
 
+from repro.backend import BackendUnavailableError, get_backend, resolve_backend_name
+from repro.backend.registry import ENV_VAR as BACKEND_ENV_VAR
 from repro.core import (
     SAGDFN,
     SAGDFNConfig,
@@ -65,8 +75,9 @@ from repro.optim import Adam, clip_grad_norm
 from repro.serve import ForecastService
 from repro.tensor import Tensor, default_dtype, no_grad
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 DEFAULT_SIZES = (200, 2000)
+BACKEND_BENCH_NAMES = ("numpy", "numba")
 SCALING_SIZES = (500, 2000, 5000, 10000)
 SERVE_BATCH_SIZES = (1, 8, 32)
 RECURRENCE_HISTORY = 12
@@ -473,6 +484,126 @@ def bench_scaling(sizes, m, heads, embedding_dim, ffn_hidden, repeats,
     }
 
 
+def bench_backends(num_nodes, m, heads, embedding_dim, ffn_hidden, hidden,
+                   repeats, batch: int = 8, dtype: str = "float64") -> dict:
+    """Per-op wall time of the three registry ops on every built-in backend.
+
+    Times the raw :class:`~repro.backend.OpsBackend` entry points —
+    ``pair_scores`` (attention scoring, the op the
+    ``--assert-backend-speedup`` CI gate watches), the in-place
+    ``diffusion_aggregate_`` and the serving GRU gate chain
+    (``fused_gru_gates_`` + ``fused_gru_update_``) — on identical float64
+    inputs, under ``no_grad`` so jitted backends take their fast path.
+    Backends that cannot be constructed on this host (numba without the
+    numba package) are recorded as unavailable with the reason, never
+    skipped silently.  Each available non-reference backend also records
+    its max relative deviation from the numpy pair scores, which must sit
+    inside the documented 1e-10 envelope.
+    """
+    rng = np.random.default_rng(0)
+    m_eff = min(m, num_nodes)
+    embeddings = Tensor(rng.normal(size=(num_nodes, embedding_dim)).astype(dtype))
+    neighbours = Tensor(rng.normal(size=(m_eff, embedding_dim)).astype(dtype))
+    w1 = Tensor(0.1 * rng.normal(size=(heads, 2 * embedding_dim, ffn_hidden)).astype(dtype))
+    b1 = Tensor(0.1 * rng.normal(size=(heads, ffn_hidden)).astype(dtype))
+    w2 = Tensor(0.1 * rng.normal(size=(heads, ffn_hidden, 1)).astype(dtype))
+    b2 = Tensor(0.1 * rng.normal(size=(heads, 1)).astype(dtype))
+
+    adjacency = np.abs(rng.random((num_nodes, m_eff))).astype(dtype)
+    gathered = rng.normal(size=(m_eff, batch, hidden)).astype(dtype)
+    previous = rng.normal(size=(num_nodes, batch, hidden)).astype(dtype)
+    scale = (1.0 / (adjacency.sum(axis=1, keepdims=True) + 1.0))[:, :, None]
+    diffusion_out = np.empty_like(previous)
+
+    gates_src = rng.normal(size=(num_nodes, batch, 2 * hidden)).astype(dtype)
+    hidden_src = rng.normal(size=(num_nodes, batch, hidden)).astype(dtype)
+    candidate_src = rng.normal(size=(num_nodes, batch, hidden)).astype(dtype)
+    gates_buf = np.empty_like(gates_src)
+    hidden_buf = np.empty_like(hidden_src)
+    candidate_buf = np.empty_like(candidate_src)
+    update_buf = np.empty_like(hidden_src)
+    scratch = np.empty_like(hidden_src)
+
+    results = []
+    reference_scores = None
+    for name in BACKEND_BENCH_NAMES:
+        try:
+            backend = get_backend(name)
+        except BackendUnavailableError as exc:
+            results.append({"backend": name, "available": False, "reason": str(exc)})
+            print(f"backends {name}: unavailable ({exc})", flush=True)
+            continue
+
+        def time_op(fn):
+            with no_grad():
+                return _time(fn, repeats)
+
+        def run_pair_scores():
+            return backend.pair_scores(embeddings, neighbours, w1, b1, w2, b2)
+
+        def run_diffusion():
+            backend.diffusion_aggregate_(
+                adjacency, gathered, previous, scale, diffusion_out
+            )
+
+        def run_gates():
+            # The in-place chain mutates its buffers; refill from the
+            # pristine sources each call so every repeat sees the same
+            # inputs (the copy cost is identical across backends).  The
+            # update gate goes through a contiguous copy exactly as the
+            # serving kernel's ``_step`` does.
+            np.copyto(gates_buf, gates_src)
+            np.copyto(hidden_buf, hidden_src)
+            np.copyto(candidate_buf, candidate_src)
+            backend.fused_gru_gates_(gates_buf)
+            np.copyto(update_buf, gates_buf[..., hidden:])
+            backend.fused_gru_update_(
+                hidden_buf, update_buf, candidate_buf, scratch
+            )
+
+        entry = {
+            "backend": name,
+            "available": True,
+            "pair_scores_ms": time_op(run_pair_scores),
+            "diffusion_aggregate_ms": time_op(run_diffusion),
+            "fused_gru_gates_ms": time_op(run_gates),
+        }
+        with no_grad():
+            scores = run_pair_scores().data
+        if reference_scores is None:
+            reference_scores = scores
+        else:
+            entry["pair_scores_max_rel_diff"] = float(
+                np.abs(scores - reference_scores).max()
+                / max(np.abs(reference_scores).max(), 1e-30)
+            )
+        results.append(entry)
+        print(
+            f"backends {name} N={num_nodes:>6} M={m_eff:>3} {dtype}: "
+            f"pair scores {entry['pair_scores_ms']:.2f} ms, "
+            f"diffusion {entry['diffusion_aggregate_ms']:.3f} ms, "
+            f"gates {entry['fused_gru_gates_ms']:.3f} ms"
+            + (f", rel diff {entry['pair_scores_max_rel_diff']:.2e}"
+               if "pair_scores_max_rel_diff" in entry else ""),
+            flush=True,
+        )
+
+    by_name = {entry["backend"]: entry for entry in results}
+    speedup = None
+    if by_name.get("numba", {}).get("available"):
+        speedup = (by_name["numpy"]["pair_scores_ms"]
+                   / by_name["numba"]["pair_scores_ms"])
+    return {
+        "num_nodes": int(num_nodes),
+        "num_significant": int(m_eff),
+        "batch_size": int(batch),
+        "hidden_size": int(hidden),
+        "dtype": dtype,
+        "results": results,
+        "attention_speedup_numba_over_numpy": speedup,
+    }
+
+
 def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         train_step_max_n, scaling_sizes=SCALING_SIZES, scaling_budget_mb=64.0,
         scaling_embedding_dim=64, scaling_equivalence_max_n=10_000,
@@ -543,6 +674,11 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
     recurrence = bench_recurrence(recurrence_sizes, m, heads, embedding_dim,
                                   ffn_hidden, hidden, repeats)
 
+    # Per-op backend comparison at the largest benched N (2000 by default —
+    # the size the numba speedup gate is specified at).
+    backends = bench_backends(max(sizes), m, heads, embedding_dim, ffn_hidden,
+                              hidden, repeats)
+
     return {
         "benchmark": "attention",
         "schema_version": SCHEMA_VERSION,
@@ -559,6 +695,7 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         "serve": serve,
         "scaling": scaling,
         "recurrence": recurrence,
+        "backends": backends,
         "results": results,
     }
 
@@ -604,10 +741,37 @@ def validate_recurrence(section: dict) -> None:
                 raise ValueError(f"recurrence serve entry missing key {key!r}: {entry}")
 
 
+def validate_backends(section: dict) -> None:
+    """Raise ``ValueError`` if ``section`` is not a valid backends section."""
+    if not isinstance(section, dict) or not section.get("results"):
+        raise ValueError("backends section must hold a non-empty results list")
+    for key in ("num_nodes", "num_significant", "dtype",
+                "attention_speedup_numba_over_numpy"):
+        if key not in section:
+            raise ValueError(f"backends section missing key {key!r}")
+    names = set()
+    for entry in section["results"]:
+        if "backend" not in entry or "available" not in entry:
+            raise ValueError(f"backends entry missing identity keys: {entry}")
+        names.add(entry["backend"])
+        if entry["available"]:
+            for key in ("pair_scores_ms", "diffusion_aggregate_ms",
+                        "fused_gru_gates_ms"):
+                if key not in entry:
+                    raise ValueError(f"backends entry missing key {key!r}: {entry}")
+        elif "reason" not in entry:
+            raise ValueError(
+                f"unavailable backend entry must record a reason: {entry}"
+            )
+    if "numpy" not in names:
+        raise ValueError("backends section must include the numpy reference")
+
+
 def validate_schema(report: dict) -> None:
     """Raise ``ValueError`` if ``report`` is not a valid benchmark report."""
     for key in ("benchmark", "schema_version", "config", "results",
-                "attention_speedup_vs_seed", "serve", "scaling", "recurrence"):
+                "attention_speedup_vs_seed", "serve", "scaling", "recurrence",
+                "backends"):
         if key not in report:
             raise ValueError(f"missing top-level key {key!r}")
     if not isinstance(report["results"], list) or not report["results"]:
@@ -628,6 +792,7 @@ def validate_schema(report: dict) -> None:
                 raise ValueError(f"serve entry missing key {key!r}: {entry}")
     validate_scaling(report["scaling"])
     validate_recurrence(report["recurrence"])
+    validate_backends(report["backends"])
 
 
 def main(argv=None) -> dict:
@@ -670,6 +835,16 @@ def main(argv=None) -> dict:
     parser.add_argument("--assert-serve-batch-growth", type=float, default=None,
                         help="exit non-zero if serve throughput at batch 8 is not "
                              "at least this multiple of the batch-1 throughput")
+    parser.add_argument("--backend", type=str, default=None,
+                        help="run the model-level benches on this execution "
+                             "backend (routes through REPRO_BACKEND; the per-op "
+                             "backends section always covers every built-in)")
+    parser.add_argument("--backend-only", action="store_true",
+                        help="run (and write) only the per-op backends section")
+    parser.add_argument("--assert-backend-speedup", type=float, default=None,
+                        help="exit non-zero unless the numba backend is available "
+                             "and its attention pair-scoring speedup over numpy "
+                             "is at least this factor")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: smallest N only, single repeat")
     parser.add_argument("--output", type=Path, default=None,
@@ -685,15 +860,22 @@ def main(argv=None) -> dict:
         parser.error("--recurrence-sizes values must be positive node counts")
     if args.m < 1 or args.repeats < 1:
         parser.error("--m and --repeats must be >= 1")
-    if args.scaling_only and args.recurrence_only:
-        parser.error("--scaling-only and --recurrence-only are mutually exclusive")
-    if args.scaling_only and (args.assert_recurrence_speedup is not None
-                              or args.assert_serve_batch_growth is not None):
+    if sum([args.scaling_only, args.recurrence_only, args.backend_only]) > 1:
+        parser.error("--scaling-only, --recurrence-only and --backend-only "
+                     "are mutually exclusive")
+    if (args.scaling_only or args.backend_only) and (
+            args.assert_recurrence_speedup is not None
+            or args.assert_serve_batch_growth is not None):
         parser.error("recurrence assertions require the recurrence section "
-                     "(drop --scaling-only)")
-    if args.recurrence_only and args.assert_scaling_peak_mb is not None:
+                     "(drop --scaling-only/--backend-only)")
+    if (args.recurrence_only or args.backend_only) \
+            and args.assert_scaling_peak_mb is not None:
         parser.error("--assert-scaling-peak-mb requires the scaling section "
-                     "(drop --recurrence-only)")
+                     "(drop --recurrence-only/--backend-only)")
+    if (args.scaling_only or args.recurrence_only) \
+            and args.assert_backend_speedup is not None:
+        parser.error("--assert-backend-speedup requires the backends section "
+                     "(drop --scaling-only/--recurrence-only)")
 
     if args.smoke:
         args.sizes = [min(args.sizes)]
@@ -707,38 +889,65 @@ def main(argv=None) -> dict:
             default_name = "BENCH_scaling.json"
         elif args.recurrence_only:
             default_name = "BENCH_recurrence.json"
+        elif args.backend_only:
+            default_name = "BENCH_backends.json"
         else:
             default_name = "BENCH_attention.json"
         args.output = REPO_ROOT / default_name
 
-    if args.scaling_only:
-        scaling = bench_scaling(args.scaling_sizes, args.m, args.heads,
-                                args.scaling_embedding_dim, args.ffn_hidden,
-                                args.repeats, args.scaling_budget_mb,
-                                args.scaling_equivalence_max_n)
-        report = {
-            "benchmark": "attention-scaling",
-            "schema_version": SCHEMA_VERSION,
-            "scaling": scaling,
-        }
-    elif args.recurrence_only:
-        recurrence = bench_recurrence(
-            args.recurrence_sizes or [max(args.sizes)], args.m, args.heads,
-            args.embedding_dim, args.ffn_hidden, args.hidden, args.repeats,
-        )
-        report = {
-            "benchmark": "attention-recurrence",
-            "schema_version": SCHEMA_VERSION,
-            "recurrence": recurrence,
-        }
-    else:
-        report = run(args.sizes, args.m, args.heads, args.embedding_dim,
-                     args.ffn_hidden, args.hidden, args.repeats, args.train_step_max_n,
-                     scaling_sizes=args.scaling_sizes,
-                     scaling_budget_mb=args.scaling_budget_mb,
-                     scaling_embedding_dim=args.scaling_embedding_dim,
-                     scaling_equivalence_max_n=args.scaling_equivalence_max_n,
-                     recurrence_sizes=args.recurrence_sizes)
+    if args.backend is not None:
+        get_backend(args.backend)  # fail fast on unknown/unavailable names
+    previous_env = os.environ.get(BACKEND_ENV_VAR)
+    try:
+        if args.backend is not None:
+            # Route every model construction of the model-level benches
+            # through the requested backend, exactly as a user would.
+            os.environ[BACKEND_ENV_VAR] = args.backend
+        if args.scaling_only:
+            scaling = bench_scaling(args.scaling_sizes, args.m, args.heads,
+                                    args.scaling_embedding_dim, args.ffn_hidden,
+                                    args.repeats, args.scaling_budget_mb,
+                                    args.scaling_equivalence_max_n)
+            report = {
+                "benchmark": "attention-scaling",
+                "schema_version": SCHEMA_VERSION,
+                "scaling": scaling,
+            }
+        elif args.recurrence_only:
+            recurrence = bench_recurrence(
+                args.recurrence_sizes or [max(args.sizes)], args.m, args.heads,
+                args.embedding_dim, args.ffn_hidden, args.hidden, args.repeats,
+            )
+            report = {
+                "benchmark": "attention-recurrence",
+                "schema_version": SCHEMA_VERSION,
+                "recurrence": recurrence,
+            }
+        elif args.backend_only:
+            backends = bench_backends(max(args.sizes), args.m, args.heads,
+                                      args.embedding_dim, args.ffn_hidden,
+                                      args.hidden, args.repeats)
+            report = {
+                "benchmark": "attention-backends",
+                "schema_version": SCHEMA_VERSION,
+                "backends": backends,
+            }
+        else:
+            report = run(args.sizes, args.m, args.heads, args.embedding_dim,
+                         args.ffn_hidden, args.hidden, args.repeats,
+                         args.train_step_max_n,
+                         scaling_sizes=args.scaling_sizes,
+                         scaling_budget_mb=args.scaling_budget_mb,
+                         scaling_embedding_dim=args.scaling_embedding_dim,
+                         scaling_equivalence_max_n=args.scaling_equivalence_max_n,
+                         recurrence_sizes=args.recurrence_sizes)
+            report["config"]["backend"] = resolve_backend_name(args.backend)
+    finally:
+        if args.backend is not None:
+            if previous_env is None:
+                os.environ.pop(BACKEND_ENV_VAR, None)
+            else:
+                os.environ[BACKEND_ENV_VAR] = previous_env
 
     # Write the report before any gate (schema validation, the bitwise
     # divergence check inside it, the peak assertion): a failing gate in CI
@@ -750,6 +959,8 @@ def main(argv=None) -> dict:
         validate_scaling(report["scaling"])
     elif args.recurrence_only:
         validate_recurrence(report["recurrence"])
+    elif args.backend_only:
+        validate_backends(report["backends"])
     else:
         validate_schema(report)
 
@@ -785,6 +996,25 @@ def main(argv=None) -> dict:
         print(
             f"serve batch-growth assertion (>= {args.assert_serve_batch_growth}x) ok"
         )
+    if args.assert_backend_speedup is not None:
+        section = report["backends"]
+        entries = {entry["backend"]: entry for entry in section["results"]}
+        numba_entry = entries.get("numba")
+        if numba_entry is None or not numba_entry.get("available"):
+            reason = (numba_entry or {}).get(
+                "reason", "the numba backend was not benchmarked"
+            )
+            raise SystemExit(
+                f"--assert-backend-speedup needs the numba backend: {reason}"
+            )
+        speedup = section["attention_speedup_numba_over_numpy"]
+        if speedup is None or speedup < args.assert_backend_speedup:
+            raise SystemExit(
+                f"numba pair-scoring speedup {speedup!r}x at "
+                f"N={section['num_nodes']} is below the "
+                f"{args.assert_backend_speedup}x assertion"
+            )
+        print(f"backend speedup assertion (>= {args.assert_backend_speedup}x) ok")
     return report
 
 

@@ -1,0 +1,57 @@
+"""Pluggable execution backends for the three hot kernels.
+
+Public surface::
+
+    from repro.backend import get_backend, register_backend
+
+    backend = get_backend()          # REPRO_BACKEND env var or "numpy"
+    backend = get_backend("numba")   # explicit; raises if unavailable
+    plan = backend.make_plan(chunk_size=512)
+
+Built-ins: ``numpy`` (bit-exact reference, the default) and ``numba``
+(jitted, opt-in; registered lazily so importing this package never pays
+for — or requires — numba).
+"""
+
+from repro.backend.base import ExecutionPlan, OpsBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    BackendUnavailableError,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+    unregister_backend,
+)
+
+register_backend("numpy", NumpyBackend)
+
+
+def _numba_factory() -> OpsBackend:
+    from repro.backend.numba_backend import NUMBA_AVAILABLE, NumbaBackend
+
+    if not NUMBA_AVAILABLE:
+        raise BackendUnavailableError(
+            "backend 'numba' requires the numba package, which is not "
+            "installed; install numba or select backend 'numpy'"
+        )
+    return NumbaBackend()
+
+
+register_backend("numba", _numba_factory)
+
+__all__ = [
+    "BackendUnavailableError",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "ExecutionPlan",
+    "NumpyBackend",
+    "OpsBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "unregister_backend",
+]

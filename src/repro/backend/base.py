@@ -1,0 +1,215 @@
+"""Ops-backend abstraction: one execution concept behind the three hot kernels.
+
+Every hot path of the engine bottoms out in one of three operations:
+
+* **pair scoring** — the sparse spatial attention's batched scoring FFNs
+  over every (node, significant-neighbour) pair, including the canonical
+  tiled scoring grid (:meth:`OpsBackend.pair_scores`);
+* **diffusion aggregation** — the ``(N, M) @ (M, B·C)`` neighbour-gather
+  gemms of the fast graph convolution, slim and dense, in both the autograd
+  module forward (:meth:`OpsBackend.diffusion_hop`) and the raw-ndarray
+  serving kernel (:meth:`OpsBackend.diffusion_aggregate_`);
+* **fused GRU gates** — the element-wise sigmoid/tanh/blend chain of the
+  fused OneStepFastGConv cell (:meth:`OpsBackend.fused_gru_gates` /
+  :meth:`OpsBackend.fused_gru_update` and their in-place serving
+  counterparts).
+
+An :class:`OpsBackend` owns the implementation of those entry points plus
+workspace allocation (:meth:`OpsBackend.empty`), so swapping "which code
+executes this op" — reference numpy, numba-jitted, eventually GPU — is one
+registry lookup instead of edits across five modules.  Backends are
+selected by name through :func:`repro.backend.get_backend`
+(``SAGDFNConfig.backend`` > the ``REPRO_BACKEND`` environment variable >
+``"numpy"``).
+
+The acceleration knobs that used to be scattered ad-hoc switches
+(``use_kernel``, ``node_chunk_size``, ``chunk_size`` /
+``memory_budget_mb``) are grouped into an :class:`ExecutionPlan`, resolved
+once at model/service construction and shared by every module of a model —
+mutating one field (e.g. a serving host overriding the chunk size) is seen
+everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+
+@dataclass
+class ExecutionPlan:
+    """Resolved execution knobs of one model/service instance.
+
+    One plan object is created per model (from its config and backend
+    defaults) and *shared* by the sampler, the attention and every graph
+    convolution, so a host-side override — e.g.
+    ``ForecastService(..., chunk_size=...)`` — is a single mutation.
+
+    Attributes
+    ----------
+    backend:
+        Name of the :class:`OpsBackend` the plan was resolved for.
+    use_kernel:
+        Whether frozen-graph serving runs through the raw-ndarray
+        :class:`~repro.core.serving_kernel.FrozenRecurrenceKernel`
+        (``False`` = the autograd module forward, bit-identical to the
+        trainer's evaluation path).
+    node_chunk_size:
+        Node-block size of the graph convolutions' per-hop aggregation
+        (``None`` = unchunked).
+    chunk_size:
+        Node-block size of the SNS distance ranking and the node-tiled
+        attention scoring (``None`` = single pass / cache-heuristic tiles).
+    memory_budget_mb:
+        Alternative to ``chunk_size``: a scratch budget in MiB from which
+        each module derives its own block size.
+    """
+
+    backend: str = "numpy"
+    use_kernel: bool = True
+    node_chunk_size: int | None = None
+    chunk_size: int | None = None
+    memory_budget_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.node_chunk_size is not None and self.node_chunk_size < 1:
+            raise ValueError("node_chunk_size must be >= 1 (or None)")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None)")
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ValueError("memory_budget_mb must be positive (or None)")
+
+    def replace(self, **overrides) -> "ExecutionPlan":
+        """A copy of the plan with ``overrides`` applied (validated)."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values.update(overrides)
+        return ExecutionPlan(**values)
+
+
+class OpsBackend:
+    """Abstract execution backend behind the three hot kernels.
+
+    Subclasses implement the Tensor-level (autograd) entry points used by
+    the training/module forward and the in-place ndarray entry points used
+    by the frozen-graph serving kernel.  The numpy backend is the bit-exact
+    reference; every other backend is validated against it by the
+    equivalence suites at ≤ 1e-10 relative in float64.
+
+    Register a subclass with::
+
+        from repro.backend import register_backend
+
+        @register_backend("mybackend")
+        class MyBackend(NumpyBackend):
+            name = "mybackend"
+            ...
+
+    after which ``SAGDFNConfig(backend="mybackend")`` or
+    ``REPRO_BACKEND=mybackend`` selects it everywhere.
+    """
+
+    #: Registry name of the backend (subclasses override).
+    name = "abstract"
+    #: Default ``ExecutionPlan.use_kernel`` of this backend.
+    default_use_kernel = True
+
+    # ------------------------------------------------------------------ #
+    # Plan resolution
+    # ------------------------------------------------------------------ #
+    def make_plan(
+        self,
+        *,
+        use_kernel: bool | None = None,
+        node_chunk_size: int | None = None,
+        chunk_size: int | None = None,
+        memory_budget_mb: float | None = None,
+    ) -> ExecutionPlan:
+        """Resolve an :class:`ExecutionPlan` with this backend's defaults."""
+        return ExecutionPlan(
+            backend=self.name,
+            use_kernel=self.default_use_kernel if use_kernel is None else bool(use_kernel),
+            node_chunk_size=node_chunk_size,
+            chunk_size=chunk_size,
+            memory_budget_mb=memory_budget_mb,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hot kernel 1: attention pair scoring
+    # ------------------------------------------------------------------ #
+    def pair_scores(self, embeddings, neighbour_embeddings, w1, b1, w2, b2,
+                    tile_bytes: int | None = None):
+        """Raw pair scores ``(P, N, M, out)`` of all scoring FFNs at once.
+
+        Computes ``relu(E W1_node + E_I W1_neigh + b1) W2 + b2`` for every
+        (node, neighbour) pair as a differentiable
+        :class:`~repro.tensor.Tensor` — the attention hot kernel, including
+        the canonical tiled scoring grid (``tile_bytes`` sizes the per-tile
+        scratch; ``None`` = the backend default).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Hot kernel 2: diffusion aggregation
+    # ------------------------------------------------------------------ #
+    def diffusion_hop(self, adjacency, gathered, previous, scale):
+        """One autograd diffusion hop ``(A @ gathered + previous) * scale``.
+
+        All operands are Tensors; ``adjacency`` is the slim ``(N, M)``
+        matrix (``gathered`` the neighbour-gathered states) or a dense
+        ``(N, N)`` support (``gathered is previous``).
+        """
+        raise NotImplementedError
+
+    def diffusion_aggregate_(self, adjacency, gathered, previous, scale, out,
+                             gemm_out=None) -> None:
+        """One raw in-place diffusion hop over node-major ndarray states.
+
+        ``out = (adjacency @ gathered + previous) * scale`` where
+        ``gathered`` is ``(M, B, C)`` (or ``(T, M, B, C)`` for the batched
+        whole-history precompute) and ``previous`` / ``out`` are matching
+        ``(…, N, B, C)`` arrays.  The matmul folds batch and channels into
+        one gemm-column axis.  When ``out`` is a strided view (the hop
+        blocks of an x-stack), ``gemm_out`` supplies a contiguous scratch
+        the gemm lands in first.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Hot kernel 3: fused GRU gates
+    # ------------------------------------------------------------------ #
+    def fused_gru_gates(self, gate_pre):
+        """Sigmoid over the fused reset‖update pre-activation (autograd)."""
+        raise NotImplementedError
+
+    def fused_gru_update(self, update, hidden, candidate_pre):
+        """GRU state blend ``u * h + (1 - u) * tanh(c)`` (autograd)."""
+        raise NotImplementedError
+
+    def fused_gru_gates_(self, gates: np.ndarray) -> None:
+        """In-place serving sigmoid over the ``(N, B, 2·hidden)`` gates."""
+        raise NotImplementedError
+
+    def fused_gru_update_(self, hidden: np.ndarray, update: np.ndarray,
+                          candidate: np.ndarray, scratch: np.ndarray) -> None:
+        """In-place serving blend: ``hidden = u·hidden + (1-u)·tanh(cand)``.
+
+        ``candidate`` holds the pre-activation on entry and is clobbered;
+        ``scratch`` is a same-shaped scratch buffer.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Workspace allocation
+    # ------------------------------------------------------------------ #
+    def empty(self, shape, dtype) -> np.ndarray:
+        """Allocate an uninitialised workspace buffer.
+
+        The serving kernel routes every per-batch-size workspace buffer
+        through this hook so accelerator backends can pin / device-allocate
+        their scratch.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

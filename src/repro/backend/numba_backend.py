@@ -1,0 +1,213 @@
+"""Opt-in numba-jitted execution backend.
+
+Accelerates the three hot kernels with nopython/parallel kernels while
+inheriting the reference behaviour everywhere else:
+
+* **pair scoring** — the first-layer projections stay on the host BLAS,
+  but the relu + second-layer contraction (the memory-bound part of the
+  reference kernel: it streams a ``(P, tile, M, h)`` hidden block through
+  cache per tile) runs as one fused ``prange`` loop that never
+  materialises the hidden activation at all;
+* **diffusion aggregation** — the gemm stays on BLAS, the
+  add-previous-and-scale epilogue is fused into one jitted pass;
+* **fused GRU gates** — the serving sigmoid and tanh/blend chains become
+  single fused element-wise kernels instead of five strided numpy passes.
+
+The autograd (Tensor-level) entry points defer to the numpy reference
+whenever gradients are enabled — training math is the reference math; the
+jit only takes over under ``no_grad`` (graph freezing, serving).
+
+The module imports with or without numba.  When numba is missing,
+``get_backend("numba")`` raises
+:class:`~repro.backend.registry.BackendUnavailableError`; constructing
+``NumbaBackend(use_jit=False)`` directly runs the same kernel bodies as
+pure Python, which is what lets the parity suite cover the kernel math on
+hosts without numba (slow, tiny sizes only).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.registry import BackendUnavailableError
+from repro.tensor import Tensor
+from repro.tensor.context import is_grad_enabled
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the only branch on this container
+    NUMBA_AVAILABLE = False
+    prange = range
+
+    def njit(*args, **kwargs):  # noqa: D103 - signature mirror of numba.njit
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+
+# --------------------------------------------------------------------- #
+# Kernel bodies (plain Python; jitted per-instance in NumbaBackend)
+# --------------------------------------------------------------------- #
+def _pair_scores_core(node_part, neigh_part, w2, b2, raw):
+    """Fused relu + second scoring layer over every (node, neighbour) pair.
+
+    ``node_part`` is ``(P, N, h)``, ``neigh_part`` ``(P, M, h)``, ``w2``
+    ``(P, h, out)``, ``b2`` ``(P, out)``; fills ``raw`` ``(P, N, M, out)``.
+    The hidden vector of a pair lives in registers only.
+    """
+    heads, rows, hidden = node_part.shape
+    num_significant = neigh_part.shape[1]
+    out = w2.shape[2]
+    for p in range(heads):
+        for i in prange(rows):
+            for j in range(num_significant):
+                for o in range(out):
+                    raw[p, i, j, o] = b2[p, o]
+                for k in range(hidden):
+                    value = node_part[p, i, k] + neigh_part[p, j, k]
+                    if value > 0.0:
+                        for o in range(out):
+                            raw[p, i, j, o] += value * w2[p, k, o]
+
+
+def _sigmoid_core(flat):
+    """In-place ``1 / (1 + exp(-max(x, -60)))`` over a flat buffer."""
+    for i in prange(flat.shape[0]):
+        x = flat[i]
+        if x < -60.0:
+            x = -60.0
+        flat[i] = 1.0 / (1.0 + math.exp(-x))
+
+
+def _gru_blend_core(hidden, update, candidate):
+    """In-place ``hidden = u·hidden + (1-u)·tanh(candidate)`` over flat buffers."""
+    for i in prange(hidden.shape[0]):
+        value = math.tanh(candidate[i])
+        hidden[i] = update[i] * hidden[i] + (1.0 - update[i]) * value
+
+
+def _add_scale_core(out, gemm, previous, scale):
+    """Fused diffusion epilogue: ``out = (gemm + previous) * scale[node]``."""
+    nodes, batch, channels = out.shape
+    for i in prange(nodes):
+        row_scale = scale[i]
+        for b in range(batch):
+            for c in range(channels):
+                out[i, b, c] = (gemm[i, b, c] + previous[i, b, c]) * row_scale
+
+
+class NumbaBackend(NumpyBackend):
+    """Numba-jitted backend; parity ≤ 1e-10 relative (f64) vs the reference.
+
+    Parameters
+    ----------
+    use_jit:
+        ``True`` compiles the kernels with numba (raises
+        :class:`BackendUnavailableError` when numba is missing); ``False``
+        runs the same kernel bodies as pure Python — slow, but it keeps the
+        kernel math testable on hosts without numba.  Default: jit iff
+        numba is importable.
+    """
+
+    name = "numba"
+
+    def __init__(self, use_jit: bool | None = None):
+        if use_jit is None:
+            use_jit = NUMBA_AVAILABLE
+        if use_jit and not NUMBA_AVAILABLE:
+            raise BackendUnavailableError(
+                "backend 'numba' requires the numba package, which is not "
+                "installed; install numba or select backend 'numpy'"
+            )
+        self.use_jit = bool(use_jit)
+        if self.use_jit:  # pragma: no cover - requires numba
+            jit = njit(cache=True, parallel=True)
+            self._pair_kernel = jit(_pair_scores_core)
+            self._sigmoid_kernel = jit(_sigmoid_core)
+            self._blend_kernel = jit(_gru_blend_core)
+            self._epilogue_kernel = jit(_add_scale_core)
+        else:
+            self._pair_kernel = _pair_scores_core
+            self._sigmoid_kernel = _sigmoid_core
+            self._blend_kernel = _gru_blend_core
+            self._epilogue_kernel = _add_scale_core
+
+    # ------------------------------------------------------------------ #
+    # Attention pair scoring
+    # ------------------------------------------------------------------ #
+    def pair_scores(self, embeddings, neighbour_embeddings, w1, b1, w2, b2,
+                    tile_bytes: int | None = None) -> Tensor:
+        if is_grad_enabled():
+            # Training needs the reference autograd closure; the jit covers
+            # the no-grad regimes (graph freezing, serving, benchmarks).
+            return super().pair_scores(
+                embeddings, neighbour_embeddings, w1, b1, w2, b2, tile_bytes
+            )
+        e = embeddings.data
+        e_i = neighbour_embeddings.data
+        dim = e.shape[1]
+        dtype = np.result_type(e.dtype, w1.data.dtype)
+        w1_node = np.ascontiguousarray(w1.data[:, :dim, :], dtype=dtype)
+        w1_neigh = np.ascontiguousarray(w1.data[:, dim:, :], dtype=dtype)
+        node_part = np.matmul(np.asarray(e, dtype=dtype), w1_node)  # (P, N, h)
+        neigh_part = np.matmul(np.asarray(e_i, dtype=dtype), w1_neigh)
+        neigh_part += b1.data[:, None, :]  # (P, M, h)
+        heads, num_nodes = node_part.shape[0], node_part.shape[1]
+        num_significant = neigh_part.shape[1]
+        out = w2.shape[-1]
+        raw = np.empty((heads, num_nodes, num_significant, out), dtype=dtype)
+        self._pair_kernel(
+            np.ascontiguousarray(node_part),
+            np.ascontiguousarray(neigh_part),
+            np.ascontiguousarray(w2.data, dtype=dtype),
+            np.ascontiguousarray(b2.data, dtype=dtype),
+            raw,
+        )
+        return Tensor(raw, dtype=dtype)
+
+    # ------------------------------------------------------------------ #
+    # Diffusion aggregation (serving)
+    # ------------------------------------------------------------------ #
+    def diffusion_aggregate_(self, adjacency, gathered, previous, scale, out,
+                             gemm_out=None) -> None:
+        rows = adjacency.shape[0]
+        cols = gathered.shape[-2] * gathered.shape[-1]
+        scale_flat = np.ascontiguousarray(scale).reshape(-1)
+        if gathered.ndim == 4:
+            steps = gathered.shape[0]
+            np.matmul(
+                adjacency,
+                gathered.reshape(steps, -1, cols),
+                out=out.reshape(steps, rows, cols),
+            )
+            for t in range(steps):
+                self._epilogue_kernel(out[t], out[t], previous[t], scale_flat)
+            return
+        target = out if gemm_out is None else gemm_out
+        np.matmul(adjacency, gathered.reshape(-1, cols), out=target.reshape(rows, cols))
+        self._epilogue_kernel(out, target, previous, scale_flat)
+
+    # ------------------------------------------------------------------ #
+    # Fused GRU gates (serving)
+    # ------------------------------------------------------------------ #
+    def fused_gru_gates_(self, gates: np.ndarray) -> None:
+        if not gates.flags.c_contiguous:
+            return super().fused_gru_gates_(gates)
+        self._sigmoid_kernel(gates.reshape(-1))
+
+    def fused_gru_update_(self, hidden: np.ndarray, update: np.ndarray,
+                          candidate: np.ndarray, scratch: np.ndarray) -> None:
+        if not (hidden.flags.c_contiguous and update.flags.c_contiguous
+                and candidate.flags.c_contiguous):
+            return super().fused_gru_update_(hidden, update, candidate, scratch)
+        self._blend_kernel(hidden.reshape(-1), update.reshape(-1),
+                           candidate.reshape(-1))

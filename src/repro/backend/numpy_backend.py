@@ -1,0 +1,218 @@
+"""The reference execution backend: hand-rolled NumPy, bit-exact.
+
+This module owns the canonical implementations of the three hot kernels —
+the tiled attention pair-scoring kernel (:func:`_batched_pair_scores`,
+historically hosted by :mod:`repro.core.attention` and still re-exported
+from there), the diffusion-aggregation hop and the fused GRU gate chains —
+exactly as they ran before the backend registry existed.  Every op
+preserves its original operation sequence and BLAS call shapes, because
+bit-identity of the chunked/tiled paths (and the golden regression pins)
+rests on them; treat any edit here as a numerical change.
+
+Other backends subclass :class:`NumpyBackend` and override only the ops
+they accelerate, inheriting the reference behaviour everywhere else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import OpsBackend
+from repro.tensor import Tensor
+
+# Scratch-buffer budget of the tiled scoring kernel: tiles are sized so one
+# (P, tile, M, h) hidden-activation block stays around this many bytes,
+# keeping the add/bias/relu/matmul chain in cache instead of streaming a
+# (P, N, M, h) tensor through main memory several times.  The constant also
+# defines the *canonical tile grid*: BLAS reductions are not bit-stable
+# across call shapes, so the chunked and unchunked paths stay byte-identical
+# only because both issue the exact same per-tile kernel calls — node blocks
+# are always rounded up to multiples of this grid, and the grid itself never
+# depends on the chunking knobs.
+_TILE_BYTES = 4 * 1024 * 1024
+
+
+def _tile_rows(heads: int, num_significant: int, hidden: int, itemsize: int,
+               tile_bytes: int = _TILE_BYTES) -> int:
+    """Rows per canonical scoring tile (one (P, tile, M, h) scratch block)."""
+    return max(1, int(tile_bytes // max(1, heads * num_significant * hidden * itemsize)))
+
+
+def _batched_pair_scores(
+    embeddings: Tensor,
+    neighbour_embeddings: Tensor,
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+    tile_bytes: int = _TILE_BYTES,
+) -> Tensor:
+    """Raw pair scores ``(P, N, M, out)`` of all ``P`` scoring FFNs at once.
+
+    Computes ``relu(E W1_node + E_I W1_neigh + b1) W2 + b2`` for every
+    (node, neighbour) pair without materialising either the ``(N, M, 2d)``
+    pair tensor or the full ``(P, N, M, h)`` hidden activation: the node axis
+    is processed in cache-sized tiles, and the backward pass recomputes each
+    tile's activations rather than keeping them alive in the graph.  The
+    first-layer node projection is evaluated per tile as well, so every BLAS
+    call has the same shape no matter how many rows the caller passes — the
+    property the node-tiled scoring mode's bit-identity rests on.
+    """
+    num_nodes, dim = embeddings.shape
+    num_significant = neighbour_embeddings.shape[0]
+    heads, _, hidden = w1.shape
+    out = w2.shape[-1]
+
+    e = embeddings.data
+    e_i = neighbour_embeddings.data
+    w1_node, w1_neigh = w1.data[:, :dim, :], w1.data[:, dim:, :]
+    dtype = np.result_type(e.dtype, w1.data.dtype)
+
+    neigh_part = np.matmul(e_i, w1_neigh) + b1.data[:, None, :]  # (P, M, h)
+
+    tile = min(num_nodes, _tile_rows(heads, num_significant, hidden, dtype.itemsize,
+                                     tile_bytes))
+
+    def _tiles(buffer, consume):
+        """Recompute relu(node + neigh) tile-by-tile and hand each to ``consume``."""
+        for start in range(0, num_nodes, tile):
+            stop = min(start + tile, num_nodes)
+            node_part = np.matmul(e[start:stop], w1_node)  # (P, tile, h)
+            pre = buffer[:, : stop - start]
+            np.add(node_part[:, :, None, :], neigh_part[:, None, :, :], out=pre)
+            np.maximum(pre, 0.0, out=pre)
+            consume(start, stop, pre)
+
+    raw = np.empty((heads, num_nodes, num_significant, out), dtype=dtype)
+    scratch = np.empty((heads, tile, num_significant, hidden), dtype=dtype)
+
+    def _forward_tile(start, stop, pre):
+        rows = (stop - start) * num_significant
+        np.matmul(
+            pre.reshape(heads, rows, hidden),
+            w2.data,
+            out=raw[:, start:stop].reshape(heads, rows, out),
+        )
+
+    _tiles(scratch, _forward_tile)
+    raw += b2.data[:, None, None, :]
+
+    def backward(grad):
+        grad = np.ascontiguousarray(grad, dtype=dtype)
+        grad_w2 = np.zeros_like(w2.data)
+        grad_node = np.empty((heads, num_nodes, hidden), dtype=dtype)
+        grad_neigh_pre = np.zeros_like(neigh_part)
+        buffer = np.empty((heads, tile, num_significant, hidden), dtype=dtype)
+        w2_t = np.ascontiguousarray(np.swapaxes(w2.data, -1, -2))
+
+        def _backward_tile(start, stop, pre):
+            nonlocal grad_w2, grad_neigh_pre
+            rows = (stop - start) * num_significant
+            grad_tile = grad[:, start:stop].reshape(heads, rows, out)
+            grad_w2 += np.matmul(
+                np.swapaxes(pre.reshape(heads, rows, hidden), -1, -2), grad_tile
+            )
+            grad_pre = np.matmul(grad_tile, w2_t).reshape(
+                heads, stop - start, num_significant, hidden
+            )
+            grad_pre *= pre > 0.0  # relu mask from the recomputed activations
+            grad_node[:, start:stop] = grad_pre.sum(axis=2)
+            grad_neigh_pre += grad_pre.sum(axis=1)
+
+        _tiles(buffer, _backward_tile)
+
+        grad_e = np.matmul(grad_node, np.swapaxes(w1_node, -1, -2)).sum(axis=0)
+        grad_e_i = np.matmul(grad_neigh_pre, np.swapaxes(w1_neigh, -1, -2)).sum(axis=0)
+        grad_w1 = np.concatenate(
+            [np.matmul(e.T, grad_node), np.matmul(e_i.T, grad_neigh_pre)], axis=1
+        )
+        grad_b1 = grad_neigh_pre.sum(axis=1)
+        grad_b2 = grad.sum(axis=(1, 2))
+        return grad_e, grad_e_i, grad_w1, grad_b1, grad_w2, grad_b2
+
+    return Tensor._make(
+        raw, (embeddings, neighbour_embeddings, w1, b1, w2, b2), backward
+    )
+
+
+class NumpyBackend(OpsBackend):
+    """Bit-exact reference backend (the pre-registry implementations)."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------ #
+    # Attention pair scoring
+    # ------------------------------------------------------------------ #
+    def pair_scores(self, embeddings, neighbour_embeddings, w1, b1, w2, b2,
+                    tile_bytes: int | None = None) -> Tensor:
+        if tile_bytes is None:
+            tile_bytes = _TILE_BYTES
+        return _batched_pair_scores(
+            embeddings, neighbour_embeddings, w1, b1, w2, b2, tile_bytes=tile_bytes
+        )
+
+    # ------------------------------------------------------------------ #
+    # Diffusion aggregation
+    # ------------------------------------------------------------------ #
+    def diffusion_hop(self, adjacency, gathered, previous, scale) -> Tensor:
+        return (adjacency.matmul(gathered) + previous) * scale
+
+    def diffusion_aggregate_(self, adjacency, gathered, previous, scale, out,
+                             gemm_out=None) -> None:
+        rows = adjacency.shape[0]
+        cols = gathered.shape[-2] * gathered.shape[-1]
+        if gathered.ndim == 4:
+            # Whole-sequence precompute: one batched gemm over (T, M, B·C).
+            steps = gathered.shape[0]
+            np.matmul(
+                adjacency,
+                gathered.reshape(steps, -1, cols),
+                out=out.reshape(steps, rows, cols),
+            )
+            out += previous
+            out *= scale
+            return
+        target = out if gemm_out is None else gemm_out
+        np.matmul(adjacency, gathered.reshape(-1, cols), out=target.reshape(rows, cols))
+        if gemm_out is None:
+            out += previous
+        else:
+            np.add(gemm_out, previous, out=out)
+        out *= scale
+
+    # ------------------------------------------------------------------ #
+    # Fused GRU gates
+    # ------------------------------------------------------------------ #
+    def fused_gru_gates(self, gate_pre) -> Tensor:
+        return gate_pre.sigmoid()
+
+    def fused_gru_update(self, update, hidden, candidate_pre) -> Tensor:
+        candidate = candidate_pre.tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+    def fused_gru_gates_(self, gates: np.ndarray) -> None:
+        # In-place 1 / (1 + exp(-max(x, -60))).  The reference
+        # ``Tensor.sigmoid`` clips to [-60, 60]; the lower bound is what
+        # prevents ``exp`` overflow, and dropping the upper bound changes
+        # saturated gates by less than 1e-26 — far below the serving
+        # kernel's 1e-10 equivalence envelope.
+        np.maximum(gates, -60.0, out=gates)
+        np.negative(gates, out=gates)
+        np.exp(gates, out=gates)
+        gates += 1.0
+        np.reciprocal(gates, out=gates)
+
+    def fused_gru_update_(self, hidden: np.ndarray, update: np.ndarray,
+                          candidate: np.ndarray, scratch: np.ndarray) -> None:
+        np.tanh(candidate, out=candidate)
+        # hidden = update * hidden + (1 - update) * candidate
+        np.subtract(1.0, update, out=scratch)
+        scratch *= candidate
+        hidden *= update
+        hidden += scratch
+
+    # ------------------------------------------------------------------ #
+    # Workspace allocation
+    # ------------------------------------------------------------------ #
+    def empty(self, shape, dtype) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)

@@ -1,0 +1,113 @@
+"""Backend registry: name → :class:`~repro.backend.base.OpsBackend`.
+
+Every path that selects an execution backend — ``SAGDFNConfig.backend``,
+the ``REPRO_BACKEND`` environment variable, a ``ForecastService``/CLI
+override — routes through :func:`resolve_backend_name` and
+:func:`get_backend`, so an unknown name fails the same way everywhere:
+a ``ValueError`` listing the registered backends.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable
+
+from repro.backend.base import OpsBackend
+
+#: Environment variable consulted when no backend is selected explicitly.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Name used when neither config nor environment selects a backend.
+DEFAULT_BACKEND = "numpy"
+
+_lock = threading.Lock()
+_factories: dict[str, Callable[[], OpsBackend]] = {}
+_instances: dict[str, OpsBackend] = {}
+
+
+class BackendUnavailableError(RuntimeError):
+    """A registered backend cannot run here (e.g. numba is not installed)."""
+
+
+def register_backend(name: str, factory: Callable[[], OpsBackend] | None = None):
+    """Register ``factory`` (a class or zero-arg callable) under ``name``.
+
+    Usable directly — ``register_backend("numpy", NumpyBackend)`` — or as a
+    class decorator::
+
+        @register_backend("mybackend")
+        class MyBackend(OpsBackend): ...
+
+    Re-registering a name replaces the factory (and drops any cached
+    instance), so tests and downstream packages can override built-ins.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+
+    def _register(factory: Callable[[], OpsBackend]):
+        with _lock:
+            _factories[name] = factory
+            _instances.pop(name, None)
+        return factory
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove ``name`` from the registry (primarily for test cleanup)."""
+    with _lock:
+        _factories.pop(name, None)
+        _instances.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of all registered backends."""
+    with _lock:
+        return tuple(sorted(_factories))
+
+
+def resolve_backend_name(explicit: str | None = None) -> str:
+    """Resolve which backend name to use.
+
+    Precedence: ``explicit`` (a config field or call-site override) >
+    the ``REPRO_BACKEND`` environment variable > ``"numpy"``.  The resolved
+    name is validated against the registry; an unknown name raises a
+    ``ValueError`` listing what is registered.
+    """
+    name = explicit
+    if name is None:
+        env = os.environ.get(ENV_VAR, "").strip()
+        name = env or DEFAULT_BACKEND
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    with _lock:
+        known = name in _factories
+    if not known:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(available_backends())}"
+        )
+    return name
+
+
+def get_backend(backend: str | OpsBackend | None = None) -> OpsBackend:
+    """Return the (cached) backend instance selected by ``backend``.
+
+    ``backend`` may be an :class:`OpsBackend` instance (returned as-is), a
+    registered name, or ``None`` — in which case the ``REPRO_BACKEND``
+    environment variable and the ``"numpy"`` default apply.  Raises
+    ``ValueError`` for unknown names and :class:`BackendUnavailableError`
+    when the backend's factory reports it cannot run here.
+    """
+    if isinstance(backend, OpsBackend):
+        return backend
+    name = resolve_backend_name(backend)
+    with _lock:
+        instance = _instances.get(name)
+        if instance is None:
+            instance = _factories[name]()
+            _instances[name] = instance
+    return instance

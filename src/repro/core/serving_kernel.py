@@ -40,6 +40,8 @@ import threading
 
 import numpy as np
 
+from repro.backend import OpsBackend, get_backend
+
 # Workspaces are keyed by batch size; retain at most this many before
 # evicting the least recently used (long-lived services see ragged batch
 # sizes from micro-batching and loader tails — memory must not climb with
@@ -99,6 +101,7 @@ class _Workspace:
         hops = kernel.hops
         dtype = kernel.dtype
         m = kernel.adjacency.shape[-1]
+        empty = kernel.backend.empty
         # Input widths diffused inside the step loop: every decoder layer,
         # and encoder layers above the first (their inputs are the hidden
         # states of the layer below).  The first encoder layer's input
@@ -113,36 +116,36 @@ class _Workspace:
         self.x_scratch = {}
         self.x_dense_gather = {}
         for width in x_widths:
-            stack = np.empty((n, batch, hops * width + 1), dtype=dtype)
+            stack = empty((n, batch, hops * width + 1), dtype)
             stack[..., -1] = 1.0
             self.x_stacks[width] = stack
-            self.x_scratch[width] = np.empty((n, batch, width), dtype=dtype)
+            self.x_scratch[width] = empty((n, batch, width), dtype)
             if kernel.index_set is None:
                 # Dense supports gather the full strided hop block; give the
                 # contiguous copy its own buffer (x_scratch holds the gemm
                 # output of the same iteration).
-                self.x_dense_gather[width] = np.empty((n, batch, width), dtype=dtype)
+                self.x_dense_gather[width] = empty((n, batch, width), dtype)
         gather_widths = sorted(set(x_widths) | {h}) if kernel.index_set is not None else []
         self.gather = {
-            width: np.empty((m, batch, width), dtype=dtype) for width in gather_widths
+            width: empty((m, batch, width), dtype) for width in gather_widths
         }
         # One hidden-state stack per layer; the layer's hidden state lives
         # permanently in ``h_states[layer][0]`` (the hop-0 diffusion state),
         # shared by the encoder and decoder phases.
         self.h_states = [
-            np.empty((hops, n, batch, h), dtype=dtype) for _ in kernel.encoder
+            empty((hops, n, batch, h), dtype) for _ in kernel.encoder
         ]
-        self.r_states = np.empty((hops, n, batch, h), dtype=dtype)
-        self.gates = np.empty((n, batch, 2 * h), dtype=dtype)
-        self.scratch_2h = np.empty((n, batch, 2 * h), dtype=dtype)
-        self.scratch_h = np.empty((n, batch, h), dtype=dtype)
-        self.update = np.empty((n, batch, h), dtype=dtype)
-        self.candidate = np.empty((n, batch, h), dtype=dtype)
-        self.decoder_input = np.empty((n, batch, kernel.output_dim), dtype=dtype)
+        self.r_states = empty((hops, n, batch, h), dtype)
+        self.gates = empty((n, batch, 2 * h), dtype)
+        self.scratch_2h = empty((n, batch, 2 * h), dtype)
+        self.scratch_h = empty((n, batch, h), dtype)
+        self.update = empty((n, batch, h), dtype)
+        self.candidate = empty((n, batch, h), dtype)
+        self.decoder_input = empty((n, batch, kernel.output_dim), dtype)
         # Full-width predictions: one column per quantile head for
         # probabilistic forecasters (prediction_dim == output_dim otherwise).
-        self.predictions = np.empty(
-            (kernel.horizon, n, batch, kernel.prediction_dim), dtype=dtype
+        self.predictions = empty(
+            (kernel.horizon, n, batch, kernel.prediction_dim), dtype
         )
 
 
@@ -160,6 +163,10 @@ class FrozenRecurrenceKernel:
         Frozen significant-neighbour indices, ``None`` for dense supports.
     degree_scale:
         The ``(N, 1)`` degree normalisation ``(D + I)^{-1}``.
+    backend:
+        Execution backend (name, instance, or ``None`` for the
+        ``REPRO_BACKEND``/default resolution) the in-place aggregation and
+        gate kernels — and workspace allocation — dispatch through.
     """
 
     def __init__(
@@ -168,7 +175,9 @@ class FrozenRecurrenceKernel:
         adjacency: np.ndarray,
         index_set: np.ndarray | None,
         degree_scale: np.ndarray,
+        backend: str | OpsBackend | None = None,
     ) -> None:
+        self.backend = get_backend(backend)
         self.horizon = forecaster.horizon
         self.output_dim = forecaster.output_dim
         self.hidden_dim = forecaster.hidden_dim
@@ -205,22 +214,18 @@ class FrozenRecurrenceKernel:
         ``s_j = (A · gather(s_{j-1}) + s_{j-1}) * scale``, with the
         aggregation flattened to one ``(N, M) @ (M, B·C)`` gemm.
         """
-        hops, n, batch, channels = states.shape
+        hops = states.shape[0]
         for j in range(1, hops):
             previous = states[j - 1]
             current = states[j]
             if self.index_set is None:
                 gathered = previous
             else:
-                gathered = ws.gather[channels]
+                gathered = ws.gather[states.shape[-1]]
                 np.take(previous, self.index_set, axis=0, out=gathered)
-            np.matmul(
-                self.adjacency,
-                gathered.reshape(-1, batch * channels),
-                out=current.reshape(n, batch * channels),
+            self.backend.diffusion_aggregate_(
+                self.adjacency, gathered, previous, self.degree_scale, current
             )
-            current += previous
-            current *= self.degree_scale
 
     def _diffuse_into_stack(self, stack: np.ndarray, hops: int, width: int,
                             ws: _Workspace) -> None:
@@ -232,7 +237,6 @@ class FrozenRecurrenceKernel:
         """
         if hops == 1:
             return
-        n, batch = stack.shape[:2]
         target = ws.x_scratch[width]
         for j in range(1, hops):
             previous = stack[..., (j - 1) * width : j * width]
@@ -243,13 +247,10 @@ class FrozenRecurrenceKernel:
             else:
                 gathered = ws.gather[width]
                 np.take(previous, self.index_set, axis=0, out=gathered)
-            np.matmul(
-                self.adjacency,
-                gathered.reshape(-1, batch * width),
-                out=target.reshape(n, batch * width),
+            self.backend.diffusion_aggregate_(
+                self.adjacency, gathered, previous, self.degree_scale, current,
+                gemm_out=target,
             )
-            np.add(target, previous, out=current)
-            current *= self.degree_scale
 
     def _diffuse_batched(self, states: np.ndarray) -> None:
         """Diffusion over a whole sequence: states shaped ``(hops, T, N, B, C)``.
@@ -258,7 +259,7 @@ class FrozenRecurrenceKernel:
         temporary (amortised over all steps) and runs one gemm per history
         step per hop.
         """
-        hops, steps, n, batch, channels = states.shape
+        hops = states.shape[0]
         for j in range(1, hops):
             previous = states[j - 1]
             current = states[j]
@@ -266,28 +267,9 @@ class FrozenRecurrenceKernel:
                 gathered = previous
             else:
                 gathered = np.take(previous, self.index_set, axis=1)
-            np.matmul(
-                self.adjacency,
-                gathered.reshape(steps, -1, batch * channels),
-                out=current.reshape(steps, n, batch * channels),
+            self.backend.diffusion_aggregate_(
+                self.adjacency, gathered, previous, self.degree_scale, current
             )
-            current += previous
-            current *= self.degree_scale
-
-    @staticmethod
-    def _sigmoid(x: np.ndarray) -> None:
-        """In-place ``1 / (1 + exp(-max(x, -60)))``.
-
-        The reference ``Tensor.sigmoid`` clips to ``[-60, 60]``; the lower
-        bound is what prevents ``exp`` overflow, and dropping the upper
-        bound changes saturated gates by less than ``1e-26`` — far below
-        the kernel's ``1e-10`` equivalence envelope.
-        """
-        np.maximum(x, -60.0, out=x)
-        np.negative(x, out=x)
-        np.exp(x, out=x)
-        x += 1.0
-        np.reciprocal(x, out=x)
 
     @staticmethod
     def _project(states: np.ndarray, weights: list[np.ndarray], out: np.ndarray,
@@ -341,7 +323,7 @@ class FrozenRecurrenceKernel:
             np.matmul(layer_x.reshape(rows, -1), cell.gate_x,
                       out=scratch_2h.reshape(rows, 2 * hidden_dim))
             gates += scratch_2h
-            self._sigmoid(gates)
+            self.backend.fused_gru_gates_(gates)
             reset = gates[..., :hidden_dim]
             # ``update`` is read three times below; one contiguous copy is
             # cheaper than three strided traversals of the gates view.
@@ -356,12 +338,8 @@ class FrozenRecurrenceKernel:
             np.matmul(layer_x.reshape(rows, -1), cell.cand_x,
                       out=scratch_h.reshape(rows, hidden_dim))
             candidate += scratch_h
-            np.tanh(candidate, out=candidate)
-            # hidden = update * hidden + (1 - update) * candidate
-            np.subtract(1.0, update, out=scratch_h)
-            scratch_h *= candidate
-            hidden *= update
-            hidden += scratch_h
+            # hidden = update * hidden + (1 - update) * tanh(candidate)
+            self.backend.fused_gru_update_(hidden, update, candidate, scratch_h)
             current = hidden
         if prediction_out is not None:
             rows = self.num_nodes * current.shape[1]
@@ -382,11 +360,13 @@ class FrozenRecurrenceKernel:
         dominates the workspace even for large batches.
         """
         steps, n, batch, channels = history.shape
-        states = np.empty((self.hops, steps, n, batch, channels), dtype=self.dtype)
+        states = self.backend.empty(
+            (self.hops, steps, n, batch, channels), self.dtype
+        )
         states[0] = history
         self._diffuse_batched(states)
-        stacks = np.empty(
-            (steps, n, batch, self.hops * channels + 1), dtype=self.dtype
+        stacks = self.backend.empty(
+            (steps, n, batch, self.hops * channels + 1), self.dtype
         )
         for j in range(self.hops):
             stacks[..., j * channels : (j + 1) * channels] = states[j]

@@ -48,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--memory-budget-mb", type=float, default=None,
                         help="large-N memory knob: derive the node blocks from this "
                              "scratch budget (MiB) instead of --chunk-size")
+    parser.add_argument("--backend", type=str, default=None,
+                        help="execution backend override (e.g. numpy, numba); the "
+                             "default honours the bundle's recorded backend, then "
+                             "REPRO_BACKEND, then numpy")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed of the synthetic request generator")
     return parser
@@ -92,10 +96,14 @@ def main(argv=None) -> int:
         freeze_graph=not args.no_freeze,
         chunk_size=args.chunk_size,
         memory_budget_mb=args.memory_budget_mb,
+        backend=args.backend,
     )
     load_ms = (time.perf_counter() - load_start) * 1000.0
     mode = "frozen-graph" if service.frozen is not None else "full-forward"
-    print(f"loaded {args.checkpoint} in {load_ms:.1f} ms ({mode} mode)")
+    print(
+        f"loaded {args.checkpoint} in {load_ms:.1f} ms "
+        f"({mode} mode, {service.backend_name} backend)"
+    )
 
     windows = _load_windows(args, service)
     serve_start = time.perf_counter()

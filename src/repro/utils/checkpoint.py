@@ -188,6 +188,13 @@ def save_bundle(
         from dataclasses import asdict, is_dataclass
 
         config_dict = asdict(config) if is_dataclass(config) else dict(vars(config))
+        # Record the backend the model actually resolved (not the possibly-
+        # None configured name) so a serving host knows what the checkpoint
+        # ran on; ForecastService falls back to numpy (with a warning) when
+        # the recorded backend is not installed there.
+        backend = getattr(getattr(model, "backend", None), "name", None)
+        if backend is not None:
+            config_dict["backend"] = backend
 
     scaler_state = None
     if scaler is not None:

@@ -1,0 +1,186 @@
+"""Backend parity: every backend × every hot kernel vs the reference math.
+
+The numpy backend is the bit-exact reference (its outputs pin the golden
+suites); any other backend must match the reference paths —
+``forward_looped`` / ``forward_reference`` — to ≤ 1e-10 relative in float64.
+
+The ``numba`` parametrization uses the registered jitted backend and
+auto-skips when numba is not installed; ``numba-pure`` runs the *same
+kernel bodies* as plain Python (``NumbaBackend(use_jit=False)``), so the
+kernel math is covered on every host, numba or not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import BackendUnavailableError, get_backend
+from repro.backend.numba_backend import NumbaBackend
+from repro.core import SAGDFN, SAGDFNConfig, OneStepFastGConvCell
+from repro.core.attention import SparseSpatialMultiHeadAttention
+from repro.core.gconv import FastGraphConv
+from repro.serve import ForecastService
+from repro.tensor import Tensor, no_grad
+
+F64_REL = 1e-10
+BACKENDS = ["numpy", "numba", "numba-pure"]
+
+
+def _max_rel(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.abs(a - b).max() / max(np.abs(b).max(), 1e-30))
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    if request.param == "numba-pure":
+        return NumbaBackend(use_jit=False)
+    try:
+        return get_backend(request.param)
+    except BackendUnavailableError:
+        pytest.skip(f"backend {request.param!r} is not available here")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestAttentionParity:
+    def _attention(self, backend, **kwargs):
+        return SparseSpatialMultiHeadAttention(
+            embedding_dim=6, num_heads=3, ffn_hidden=5, seed=2,
+            backend=backend, **kwargs,
+        )
+
+    def test_pair_scoring_matches_looped_reference(self, backend, rng):
+        attention = self._attention(backend)
+        embeddings = Tensor(rng.normal(size=(14, 6)))
+        index_set = rng.choice(14, size=5, replace=False)
+        with no_grad():
+            fast = attention(embeddings, index_set).data
+            reference = attention.forward_looped(embeddings, index_set).data
+        assert _max_rel(fast, reference) <= F64_REL
+
+    def test_gradients_still_flow(self, backend, rng):
+        """Under autograd every backend defers to differentiable scoring."""
+        attention = self._attention(backend)
+        embeddings = Tensor(rng.normal(size=(10, 6)), requires_grad=True)
+        index_set = rng.choice(10, size=4, replace=False)
+        attention(embeddings, index_set).sum().backward()
+        assert embeddings.grad is not None
+        assert attention.head_w1.grad is not None
+
+    def test_chunked_scoring_matches_single_pass(self, backend, rng):
+        single = self._attention(backend)
+        chunked = self._attention(backend, chunk_size=4)
+        chunked.load_state_dict(single.state_dict())
+        embeddings = Tensor(rng.normal(size=(14, 6)))
+        index_set = rng.choice(14, size=5, replace=False)
+        with no_grad():
+            a = single(embeddings, index_set).data
+            b = chunked(embeddings, index_set).data
+        assert _max_rel(a, b) <= F64_REL
+
+
+class TestGconvParity:
+    def test_diffusion_hop_matches_reference_math(self, backend, rng):
+        conv = FastGraphConv(input_dim=2, output_dim=3, diffusion_steps=3,
+                             seed=4, backend=backend)
+        x = Tensor(rng.normal(size=(2, 9, 2)))
+        slim = Tensor(rng.random((9, 4)))
+        index_set = np.array([0, 3, 5, 7])
+        with no_grad():
+            states = conv.diffusion_states(x, slim, index_set)
+        scale = 1.0 / (slim.data.sum(axis=-1, keepdims=True) + 1.0)
+        # Reference math of Eq. 9: s_j = (A @ gather(s_{j-1}) + s_{j-1}) * scale.
+        expected = x.data
+        for state in states[1:]:
+            gathered = expected[:, index_set, :]
+            expected = (np.einsum("nm,bmc->bnc", slim.data, gathered)
+                        + expected) * scale
+            assert _max_rel(state.data, expected) <= F64_REL
+
+    def test_cell_matches_reference(self, backend, rng):
+        cell = OneStepFastGConvCell(input_dim=2, hidden_dim=5, diffusion_steps=3,
+                                    seed=1, backend=backend)
+        hidden = Tensor(rng.normal(size=(2, 9, 5)))
+        x = Tensor(rng.normal(size=(2, 9, 2)))
+        slim = Tensor(rng.random((9, 3)))
+        index_set = np.array([0, 4, 7])
+        with no_grad():
+            new_hidden, prediction = cell(x, hidden, slim, index_set)
+            ref_hidden, ref_prediction = cell.forward_reference(
+                x, hidden, slim, index_set
+            )
+        assert _max_rel(new_hidden.data, ref_hidden.data) <= F64_REL
+        assert _max_rel(prediction.data, ref_prediction.data) <= F64_REL
+
+
+class TestEndToEndParity:
+    def _model(self):
+        config = SAGDFNConfig(
+            num_nodes=22, history=4, horizon=3, num_significant=6, top_k=4,
+            hidden_size=8, num_heads=2, ffn_hidden=6, seed=0,
+        )
+        model = SAGDFN(config)
+        model.refresh_graph(10**6)
+        return model
+
+    def test_served_forecast_matches_reference(self, backend, rng):
+        """Full pipeline through the serving kernel's in-place backend ops."""
+        model = self._model()
+        model.set_backend(backend)
+        service = ForecastService(model)
+        assert service._kernel is not None
+        assert service._kernel.backend is backend
+        x = rng.normal(size=(3, 4, 22, 2))
+        served = service.predict(x)
+        with no_grad():
+            reference = model.forecaster.forward_reference(
+                Tensor(x), service._adjacency_tensor, service.frozen.index_set,
+                degree_scale=service._degree_scale_tensor,
+            ).data
+        assert _max_rel(served, reference) <= F64_REL
+
+    def test_module_forward_matches_reference(self, backend, rng):
+        model = self._model()
+        model.set_backend(backend)
+        model.eval()
+        x = Tensor(rng.normal(size=(2, 4, 22, 2)))
+        with no_grad():
+            fused = model(x).data
+            reference = model.forward_reference(x).data
+        assert _max_rel(fused, reference) <= F64_REL
+
+
+class TestNumpyBackendIsBitExact:
+    """The numpy backend is not just close — it IS the pre-refactor math."""
+
+    def test_explicit_numpy_backend_is_bit_identical_to_default(self, rng):
+        config = SAGDFNConfig(
+            num_nodes=16, history=4, horizon=3, num_significant=5, top_k=4,
+            hidden_size=8, num_heads=2, ffn_hidden=6, seed=3, backend="numpy",
+        )
+        explicit = SAGDFN(config)
+        explicit.refresh_graph(10**6)
+        default = SAGDFN(SAGDFNConfig(**{**config.__dict__, "backend": None}))
+        default.refresh_graph(10**6)
+        x = rng.normal(size=(2, 4, 16, 2))
+        with no_grad():
+            a = explicit(Tensor(x)).data
+            b = default(Tensor(x)).data
+        assert np.array_equal(a, b)
+
+    def test_env_selected_numpy_is_bit_identical(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        env_model = SAGDFN(SAGDFNConfig(num_nodes=10, num_significant=4, top_k=3,
+                                        hidden_size=6, num_heads=2, ffn_hidden=4))
+        monkeypatch.delenv("REPRO_BACKEND")
+        default_model = SAGDFN(SAGDFNConfig(num_nodes=10, num_significant=4,
+                                            top_k=3, hidden_size=6, num_heads=2,
+                                            ffn_hidden=4))
+        env_model.refresh_graph(10**6)
+        default_model.refresh_graph(10**6)
+        x = rng.normal(size=(1, 12, 10, 2))
+        with no_grad():
+            assert np.array_equal(env_model(Tensor(x)).data,
+                                  default_model(Tensor(x)).data)

@@ -1,0 +1,286 @@
+"""Backend registry, ExecutionPlan resolution and the deprecation shims.
+
+One resolver serves every selection path — ``SAGDFNConfig.backend``, the
+``REPRO_BACKEND`` environment variable and the ``ForecastService``/CLI
+override — so unknown names fail identically everywhere: a ``ValueError``
+listing the registered backends.  The legacy ``use_kernel`` /
+``node_chunk_size`` kwargs must keep working (with a ``DeprecationWarning``)
+by folding into the per-model :class:`~repro.backend.ExecutionPlan`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BackendUnavailableError,
+    ExecutionPlan,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+    unregister_backend,
+)
+from repro.backend.numba_backend import NUMBA_AVAILABLE
+from repro.core import SAGDFN, SAGDFNConfig
+from repro.core.attention import SparseSpatialMultiHeadAttention
+from repro.core.gconv import FastGraphConv, OneStepFastGConvCell
+from repro.serve import ForecastService
+from repro.utils import save_bundle
+
+
+def _tiny_config(**overrides):
+    defaults = dict(
+        num_nodes=8, num_significant=4, top_k=3, history=4, horizon=3,
+        embedding_dim=6, hidden_size=8, num_heads=2, ffn_hidden=4, seed=0,
+    )
+    defaults.update(overrides)
+    return SAGDFNConfig(**defaults)
+
+
+def _converged_model(**overrides):
+    model = SAGDFN(_tiny_config(**overrides))
+    model.refresh_graph(10**6)
+    return model
+
+
+class TestResolver:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend_name() == "numpy"
+        assert get_backend().name == "numpy"
+
+    def test_builtins_are_registered(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "numba" in names
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert resolve_backend_name() == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "  ")  # blank → default
+        assert resolve_backend_name() == "numpy"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        register_backend("other-for-test", NumpyBackend)
+        try:
+            monkeypatch.setenv("REPRO_BACKEND", "other-for-test")
+            assert resolve_backend_name("numpy") == "numpy"
+            assert resolve_backend_name() == "other-for-test"
+        finally:
+            unregister_backend("other-for-test")
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ValueError, match=r"unknown backend 'nope'.*numpy"):
+            get_backend("nope")
+
+    def test_unknown_env_name_fails_the_same_way(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "nope")
+        with pytest.raises(ValueError, match="unknown backend 'nope'"):
+            get_backend()
+
+    def test_unknown_config_name_fails_at_model_construction(self):
+        with pytest.raises(ValueError, match="unknown backend 'nope'"):
+            SAGDFN(_tiny_config(backend="nope"))
+
+    def test_unknown_service_override_fails_the_same_way(self):
+        model = _converged_model()
+        with pytest.raises(ValueError, match="unknown backend 'nope'"):
+            ForecastService(model, backend="nope")
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert get_backend(backend) is backend
+
+    def test_numba_unavailable_raises_backend_error(self):
+        if NUMBA_AVAILABLE:
+            pytest.skip("numba is installed here")
+        with pytest.raises(BackendUnavailableError, match="numba"):
+            get_backend("numba")
+
+    def test_third_party_registration_via_decorator(self):
+        @register_backend("custom-for-test")
+        class CustomBackend(NumpyBackend):
+            name = "custom-for-test"
+
+        try:
+            assert "custom-for-test" in available_backends()
+            model = SAGDFN(_tiny_config(backend="custom-for-test"))
+            assert model.backend.name == "custom-for-test"
+            assert model.plan.backend == "custom-for-test"
+        finally:
+            unregister_backend("custom-for-test")
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("custom-for-test")
+
+
+class TestExecutionPlan:
+    def test_validation_matches_legacy_messages(self):
+        with pytest.raises(ValueError, match="node_chunk_size must be >= 1"):
+            ExecutionPlan(node_chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            ExecutionPlan(chunk_size=0)
+        with pytest.raises(ValueError, match="memory_budget_mb must be positive"):
+            ExecutionPlan(memory_budget_mb=-1.0)
+
+    def test_replace_validates(self):
+        plan = ExecutionPlan()
+        assert plan.replace(chunk_size=4).chunk_size == 4
+        assert plan.chunk_size is None  # original untouched
+        with pytest.raises(ValueError):
+            plan.replace(chunk_size=0)
+
+    def test_one_plan_is_shared_across_modules(self):
+        model = _converged_model()
+        assert model.attention.plan is model.plan
+        assert model.forecaster.plan is model.plan
+        assert model.sampler.plan is model.plan
+        for cell in model.forecaster.encoder_cells + model.forecaster.decoder_cells:
+            assert cell.plan is model.plan
+            assert cell.gates.plan is model.plan
+        # one mutation is seen everywhere, through the legacy attributes too
+        model.attention.chunk_size = 5
+        assert model.sampler.chunk_size == 5
+        assert model.plan.chunk_size == 5
+
+    def test_config_chunk_size_lands_in_plan(self):
+        model = SAGDFN(_tiny_config(chunk_size=3))
+        assert model.plan.chunk_size == 3
+        assert model.plan.node_chunk_size == 3
+        assert model.forecaster.encoder_cells[0].gates.node_chunk_size == 3
+
+
+class TestDeprecationShims:
+    def test_gconv_node_chunk_size_kwarg_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="node_chunk_size"):
+            conv = FastGraphConv(2, 2, node_chunk_size=4)
+        assert conv.node_chunk_size == 4
+
+    def test_cell_node_chunk_size_kwarg_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="node_chunk_size"):
+            cell = OneStepFastGConvCell(input_dim=2, hidden_dim=4, node_chunk_size=3)
+        assert cell.gates.node_chunk_size == 3
+
+    def test_plan_and_legacy_kwarg_are_mutually_exclusive(self):
+        backend = get_backend("numpy")
+        plan = backend.make_plan(node_chunk_size=2)
+        with pytest.raises(ValueError, match="ExecutionPlan"):
+            FastGraphConv(2, 2, node_chunk_size=3, plan=plan)
+        with pytest.raises(ValueError, match="ExecutionPlan"):
+            SparseSpatialMultiHeadAttention(4, chunk_size=3, plan=plan)
+
+    def test_service_use_kernel_kwarg_warns_and_folds_into_plan(self):
+        model = _converged_model()
+        with pytest.warns(DeprecationWarning, match="use_kernel"):
+            service = ForecastService(model, use_kernel=False)
+        assert service._kernel is None
+        assert model.plan.use_kernel is False
+
+    def test_plan_use_kernel_is_the_new_switch(self):
+        model = _converged_model()
+        model.plan.use_kernel = False
+        service = ForecastService(model)
+        assert service._kernel is None
+
+    def test_service_default_still_builds_kernel(self):
+        service = ForecastService(_converged_model())
+        assert service._kernel is not None
+        assert service._kernel.backend is service.backend
+
+
+class TestModelAndServiceBackend:
+    def test_model_records_resolved_backend(self):
+        model = _converged_model()
+        assert model.backend.name == "numpy"
+        assert model.plan.backend == "numpy"
+
+    def test_set_backend_repoints_every_module(self):
+        model = _converged_model()
+        other = NumpyBackend()
+        model.set_backend(other)
+        assert model.backend is other
+        assert model.attention.backend is other
+        assert model.forecaster.backend is other
+        for cell in model.forecaster.encoder_cells + model.forecaster.decoder_cells:
+            assert cell.backend is other
+            assert cell.gates.backend is other
+            assert cell.candidate.backend is other
+
+    def test_service_records_backend_name(self):
+        service = ForecastService(_converged_model())
+        assert service.backend_name == "numpy"
+        assert service.config["backend"] == "numpy"
+
+    def test_service_override_switches_model(self):
+        class OverrideBackend(NumpyBackend):
+            name = "override-for-test"
+
+        register_backend("override-for-test", OverrideBackend)
+        try:
+            model = _converged_model()
+            service = ForecastService(model, backend="override-for-test")
+            assert service.backend_name == "override-for-test"
+            assert model.backend is service.backend
+            assert service._kernel.backend is service.backend
+        finally:
+            unregister_backend("override-for-test")
+
+
+class TestBundleBackendRecord:
+    @pytest.fixture
+    def bundle_path(self, tmp_path):
+        model = _converged_model()
+        return save_bundle(model, tmp_path / "bundle")
+
+    def test_bundle_records_backend_name(self, bundle_path):
+        from repro.utils.checkpoint import load_bundle
+
+        assert load_bundle(bundle_path).config["backend"] == "numpy"
+
+    def test_from_checkpoint_explicit_unknown_backend_raises(self, bundle_path):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ForecastService.from_checkpoint(bundle_path, backend="nope")
+
+    def test_from_checkpoint_unavailable_recorded_backend_falls_back(
+        self, bundle_path, tmp_path, capsys
+    ):
+        class GhostBackend(NumpyBackend):
+            name = "ghost"
+
+        register_backend("ghost", GhostBackend)
+        try:
+            model = _converged_model(backend="ghost")
+            ghost_path = save_bundle(model, tmp_path / "ghost_bundle")
+
+            def _unavailable():
+                raise BackendUnavailableError("ghost is not installed here")
+
+            register_backend("ghost", _unavailable)
+            service = ForecastService.from_checkpoint(ghost_path)
+            assert service.backend_name == "numpy"
+            assert service.model.backend.name == "numpy"
+            assert "ghost" in capsys.readouterr().err
+        finally:
+            unregister_backend("ghost")
+
+    def test_pre_backend_bundles_resolve_normally(self, bundle_path, monkeypatch):
+        """Bundles written before the backend record load on the default."""
+        import json
+
+        import numpy as np
+
+        from repro.utils.checkpoint import _BUNDLE_KEY
+
+        with np.load(bundle_path, allow_pickle=False) as archive:
+            payload = dict(archive)
+        info = json.loads(str(payload[_BUNDLE_KEY]))
+        info["config"].pop("backend", None)
+        payload[_BUNDLE_KEY] = np.array(json.dumps(info))
+        legacy = bundle_path.parent / "legacy.npz"
+        np.savez(legacy, **payload)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        service = ForecastService.from_checkpoint(legacy)
+        assert service.backend_name == "numpy"
