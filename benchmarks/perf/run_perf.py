@@ -27,7 +27,14 @@ Times the three costs that dominate SAGDFN training at Table VI/VII scales
   reason instead of numbers; ``--assert-backend-speedup`` gates CI on the
   numba-vs-numpy pair-scoring speedup (and fails when numba is absent).
   ``--backend`` reruns the whole suite on a specific backend by routing
-  the model-level benches through ``REPRO_BACKEND``.
+  the model-level benches through ``REPRO_BACKEND``;
+* ``cluster`` — multi-worker serving (schema v6): a frozen bundle served
+  through :class:`~repro.serve.ServingCluster` at ``--cluster-workers``
+  (default 1/2/4), recording throughput, request-level p50/p95 latency
+  under concurrent load, and per-worker-count ``scaling_efficiency``
+  (throughput over ``workers ×`` the 1-worker throughput).
+  ``--assert-cluster-efficiency`` gates CI on the efficiency of every
+  multi-worker entry; single-core hosts plateau near ``1/workers``.
 
 Results are written as JSON (default: ``BENCH_attention.json`` at the repo
 root) so subsequent PRs have a perf trajectory to compare against::
@@ -75,11 +82,12 @@ from repro.optim import Adam, clip_grad_norm
 from repro.serve import ForecastService
 from repro.tensor import Tensor, default_dtype, no_grad
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 DEFAULT_SIZES = (200, 2000)
 BACKEND_BENCH_NAMES = ("numpy", "numba")
 SCALING_SIZES = (500, 2000, 5000, 10000)
 SERVE_BATCH_SIZES = (1, 8, 32)
+CLUSTER_WORKERS = (1, 2, 4)
 RECURRENCE_HISTORY = 12
 RECURRENCE_HORIZON = 12
 
@@ -604,10 +612,122 @@ def bench_backends(num_nodes, m, heads, embedding_dim, ffn_hidden, hidden,
     }
 
 
+def bench_cluster(num_nodes, m, heads, embedding_dim, ffn_hidden, hidden,
+                  workers_list=CLUSTER_WORKERS, requests: int = 64,
+                  max_batch: int = 8, dtype: str = "float32",
+                  history: int = 6, horizon: int = 6) -> dict:
+    """Multi-worker serving throughput and scaling efficiency (schema v6).
+
+    Freezes one SAGDFN into a bundle, then serves the same ``requests``
+    synthetic windows through a :class:`~repro.serve.ServingCluster` at
+    each worker count.  All windows are submitted up front (concurrent
+    load — the asyncio-front-door pattern), so per-request latency
+    includes queueing behind the micro-batchers, which is what a caller
+    of a saturated cluster actually observes.  ``scaling_efficiency`` is
+    ``throughput / (workers * single_worker_throughput)`` — 1.0 is ideal
+    linear scaling; a single-core host pins every worker to the same core
+    and lands near ``1/workers``, so gates on this number belong on
+    multi-core CI/bench boxes.
+    """
+    import tempfile
+
+    from repro.serve.cluster import ServingCluster
+    from repro.utils import save_bundle
+
+    m_eff = min(m, num_nodes)
+    with default_dtype(dtype):
+        rng = np.random.default_rng(0)
+        config = SAGDFNConfig(
+            num_nodes=num_nodes, history=history, horizon=horizon,
+            embedding_dim=embedding_dim, num_significant=m_eff,
+            top_k=max(1, int(m_eff * 0.8)), hidden_size=hidden,
+            num_heads=heads, ffn_hidden=ffn_hidden, seed=0,
+        )
+        model = SAGDFN(config)
+        model.refresh_graph(0)
+
+    entries = []
+    single_rps = None
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_path = save_bundle(model, Path(tmp) / "bench_bundle")
+        windows = rng.normal(
+            size=(requests, history, num_nodes, config.input_dim)
+        )
+        for workers in workers_list:
+            start_cluster = time.perf_counter()
+            with ServingCluster(bundle_path, workers=workers,
+                                max_batch=max_batch) as cluster:
+                startup_s = time.perf_counter() - start_cluster
+                # Warm every worker (first forward allocates the pinned
+                # workspace) before the timed burst.
+                for future in [cluster.submit(windows[i % requests])
+                               for i in range(workers)]:
+                    future.result(timeout=300)
+                latencies: list[float] = []
+                begin = time.perf_counter()
+                futures = []
+                for window in windows:
+                    submitted = time.perf_counter()
+                    future = cluster.submit(window)
+                    future.add_done_callback(
+                        lambda f, s=submitted: latencies.append(
+                            (time.perf_counter() - s) * 1000.0
+                        )
+                    )
+                    futures.append(future)
+                for future in futures:
+                    future.result(timeout=600)
+                elapsed = time.perf_counter() - begin
+                stats = cluster.stats
+            throughput = requests / elapsed if elapsed > 0 else float("inf")
+            entry = {
+                "workers": int(workers),
+                "requests": int(requests),
+                "startup_s": startup_s,
+                "throughput_rps": throughput,
+                "latency_p50_ms": float(np.percentile(latencies, 50)),
+                "latency_p95_ms": float(np.percentile(latencies, 95)),
+                "num_batches": int(stats.num_batches),
+                "mean_batch_size": float(stats.mean_batch_size),
+            }
+            if workers == min(workers_list):
+                # Per-worker baseline (= the 1-worker throughput when the
+                # sweep starts at 1, the usual case).
+                single_rps = throughput / workers
+            entry["scaling_efficiency"] = (
+                throughput / (workers * single_rps)
+                if single_rps and single_rps > 0 else None
+            )
+            entries.append(entry)
+            print(
+                f"cluster N={num_nodes:>6} workers={workers}: "
+                f"{throughput:.1f} req/s, p50 {entry['latency_p50_ms']:.1f} ms, "
+                f"p95 {entry['latency_p95_ms']:.1f} ms, "
+                f"efficiency {entry['scaling_efficiency']:.2f} "
+                f"(startup {startup_s:.1f} s)",
+                flush=True,
+            )
+
+    by_workers = {entry["workers"]: entry["throughput_rps"] for entry in entries}
+    speedup_2 = None
+    if 1 in by_workers and 2 in by_workers and by_workers[1] > 0:
+        speedup_2 = by_workers[2] / by_workers[1]
+    return {
+        "num_nodes": int(num_nodes),
+        "num_significant": int(m_eff),
+        "requests": int(requests),
+        "max_batch": int(max_batch),
+        "dtype": dtype,
+        "results": entries,
+        "throughput_workers2_over_workers1": speedup_2,
+    }
+
+
 def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         train_step_max_n, scaling_sizes=SCALING_SIZES, scaling_budget_mb=64.0,
         scaling_embedding_dim=64, scaling_equivalence_max_n=10_000,
-        recurrence_sizes=None) -> dict:
+        recurrence_sizes=None, cluster_workers=CLUSTER_WORKERS,
+        cluster_requests=64) -> dict:
     results = []
     for num_nodes in sizes:
         m_eff = min(m, num_nodes)
@@ -679,6 +799,11 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
     backends = bench_backends(max(sizes), m, heads, embedding_dim, ffn_hidden,
                               hidden, repeats)
 
+    # Multi-worker serving: throughput vs worker count at the serve size.
+    cluster = bench_cluster(serve_n, m, heads, embedding_dim, ffn_hidden,
+                            hidden, workers_list=cluster_workers,
+                            requests=cluster_requests)
+
     return {
         "benchmark": "attention",
         "schema_version": SCHEMA_VERSION,
@@ -696,6 +821,7 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         "scaling": scaling,
         "recurrence": recurrence,
         "backends": backends,
+        "cluster": cluster,
         "results": results,
     }
 
@@ -767,11 +893,29 @@ def validate_backends(section: dict) -> None:
         raise ValueError("backends section must include the numpy reference")
 
 
+def validate_cluster(section: dict) -> None:
+    """Raise ``ValueError`` if ``section`` is not a valid cluster section."""
+    if not isinstance(section, dict) or not section.get("results"):
+        raise ValueError("cluster section must hold a non-empty results list")
+    for key in ("num_nodes", "requests", "max_batch", "dtype",
+                "throughput_workers2_over_workers1"):
+        if key not in section:
+            raise ValueError(f"cluster section missing key {key!r}")
+    for entry in section["results"]:
+        for key in ("workers", "requests", "throughput_rps", "latency_p50_ms",
+                    "latency_p95_ms", "scaling_efficiency", "num_batches",
+                    "mean_batch_size"):
+            if key not in entry:
+                raise ValueError(f"cluster entry missing key {key!r}: {entry}")
+        if entry["workers"] < 1:
+            raise ValueError(f"cluster entry has invalid workers: {entry}")
+
+
 def validate_schema(report: dict) -> None:
     """Raise ``ValueError`` if ``report`` is not a valid benchmark report."""
     for key in ("benchmark", "schema_version", "config", "results",
                 "attention_speedup_vs_seed", "serve", "scaling", "recurrence",
-                "backends"):
+                "backends", "cluster"):
         if key not in report:
             raise ValueError(f"missing top-level key {key!r}")
     if not isinstance(report["results"], list) or not report["results"]:
@@ -793,6 +937,7 @@ def validate_schema(report: dict) -> None:
     validate_scaling(report["scaling"])
     validate_recurrence(report["recurrence"])
     validate_backends(report["backends"])
+    validate_cluster(report["cluster"])
 
 
 def main(argv=None) -> dict:
@@ -845,6 +990,18 @@ def main(argv=None) -> dict:
                         help="exit non-zero unless the numba backend is available "
                              "and its attention pair-scoring speedup over numpy "
                              "is at least this factor")
+    parser.add_argument("--cluster-workers", type=int, nargs="+",
+                        default=list(CLUSTER_WORKERS),
+                        help="worker counts of the multi-worker serving bench "
+                             "(default: 1 2 4)")
+    parser.add_argument("--cluster-requests", type=int, default=64,
+                        help="requests per worker-count of the cluster bench")
+    parser.add_argument("--cluster-only", action="store_true",
+                        help="run (and write) only the cluster section")
+    parser.add_argument("--assert-cluster-efficiency", type=float, default=None,
+                        help="exit non-zero if the scaling efficiency of any "
+                             "multi-worker cluster entry is below this fraction "
+                             "(meaningful on multi-core hosts only)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: smallest N only, single repeat")
     parser.add_argument("--output", type=Path, default=None,
@@ -860,28 +1017,40 @@ def main(argv=None) -> dict:
         parser.error("--recurrence-sizes values must be positive node counts")
     if args.m < 1 or args.repeats < 1:
         parser.error("--m and --repeats must be >= 1")
-    if sum([args.scaling_only, args.recurrence_only, args.backend_only]) > 1:
-        parser.error("--scaling-only, --recurrence-only and --backend-only "
-                     "are mutually exclusive")
-    if (args.scaling_only or args.backend_only) and (
-            args.assert_recurrence_speedup is not None
-            or args.assert_serve_batch_growth is not None):
-        parser.error("recurrence assertions require the recurrence section "
-                     "(drop --scaling-only/--backend-only)")
-    if (args.recurrence_only or args.backend_only) \
-            and args.assert_scaling_peak_mb is not None:
-        parser.error("--assert-scaling-peak-mb requires the scaling section "
-                     "(drop --recurrence-only/--backend-only)")
-    if (args.scaling_only or args.recurrence_only) \
-            and args.assert_backend_speedup is not None:
-        parser.error("--assert-backend-speedup requires the backends section "
-                     "(drop --scaling-only/--recurrence-only)")
+    if any(w < 1 for w in args.cluster_workers) or args.cluster_requests < 1:
+        parser.error("--cluster-workers/--cluster-requests must be >= 1")
+    only_flags = {
+        "--scaling-only": args.scaling_only,
+        "--recurrence-only": args.recurrence_only,
+        "--backend-only": args.backend_only,
+        "--cluster-only": args.cluster_only,
+    }
+    if sum(only_flags.values()) > 1:
+        parser.error(" and ".join(only_flags) + " are mutually exclusive")
+    # Each --assert-* gate needs its section; a *different* --X-only drops it.
+    for gate, value, section_flag in (
+        ("--assert-scaling-peak-mb", args.assert_scaling_peak_mb, "--scaling-only"),
+        ("--assert-recurrence-speedup", args.assert_recurrence_speedup,
+         "--recurrence-only"),
+        ("--assert-serve-batch-growth", args.assert_serve_batch_growth,
+         "--recurrence-only"),
+        ("--assert-backend-speedup", args.assert_backend_speedup, "--backend-only"),
+        ("--assert-cluster-efficiency", args.assert_cluster_efficiency,
+         "--cluster-only"),
+    ):
+        other_only = any(flag for name, flag in only_flags.items()
+                         if name != section_flag)
+        if value is not None and other_only and not only_flags[section_flag]:
+            parser.error(f"{gate} requires the section that a different "
+                         f"--*-only flag excludes")
 
     if args.smoke:
         args.sizes = [min(args.sizes)]
         args.scaling_sizes = [min(args.scaling_sizes)]
         if args.recurrence_sizes is not None:
             args.recurrence_sizes = [min(args.recurrence_sizes)]
+        args.cluster_workers = sorted(set(args.cluster_workers))[:2]
+        args.cluster_requests = min(args.cluster_requests, 16)
         args.repeats = 1
 
     if args.output is None:
@@ -891,6 +1060,8 @@ def main(argv=None) -> dict:
             default_name = "BENCH_recurrence.json"
         elif args.backend_only:
             default_name = "BENCH_backends.json"
+        elif args.cluster_only:
+            default_name = "BENCH_cluster.json"
         else:
             default_name = "BENCH_attention.json"
         args.output = REPO_ROOT / default_name
@@ -932,6 +1103,18 @@ def main(argv=None) -> dict:
                 "schema_version": SCHEMA_VERSION,
                 "backends": backends,
             }
+        elif args.cluster_only:
+            cluster = bench_cluster(
+                min(args.sizes), args.m, args.heads, args.embedding_dim,
+                args.ffn_hidden, args.hidden,
+                workers_list=args.cluster_workers,
+                requests=args.cluster_requests,
+            )
+            report = {
+                "benchmark": "attention-cluster",
+                "schema_version": SCHEMA_VERSION,
+                "cluster": cluster,
+            }
         else:
             report = run(args.sizes, args.m, args.heads, args.embedding_dim,
                          args.ffn_hidden, args.hidden, args.repeats,
@@ -940,7 +1123,9 @@ def main(argv=None) -> dict:
                          scaling_budget_mb=args.scaling_budget_mb,
                          scaling_embedding_dim=args.scaling_embedding_dim,
                          scaling_equivalence_max_n=args.scaling_equivalence_max_n,
-                         recurrence_sizes=args.recurrence_sizes)
+                         recurrence_sizes=args.recurrence_sizes,
+                         cluster_workers=args.cluster_workers,
+                         cluster_requests=args.cluster_requests)
             report["config"]["backend"] = resolve_backend_name(args.backend)
     finally:
         if args.backend is not None:
@@ -961,6 +1146,8 @@ def main(argv=None) -> dict:
         validate_recurrence(report["recurrence"])
     elif args.backend_only:
         validate_backends(report["backends"])
+    elif args.cluster_only:
+        validate_cluster(report["cluster"])
     else:
         validate_schema(report)
 
@@ -1015,6 +1202,21 @@ def main(argv=None) -> dict:
                 f"{args.assert_backend_speedup}x assertion"
             )
         print(f"backend speedup assertion (>= {args.assert_backend_speedup}x) ok")
+    if args.assert_cluster_efficiency is not None:
+        for entry in report["cluster"]["results"]:
+            if entry["workers"] == 1:
+                continue
+            efficiency = entry["scaling_efficiency"]
+            if efficiency is None or efficiency < args.assert_cluster_efficiency:
+                raise SystemExit(
+                    f"cluster scaling efficiency {efficiency!r} at "
+                    f"{entry['workers']} workers is below the "
+                    f"{args.assert_cluster_efficiency} assertion"
+                )
+        print(
+            "cluster efficiency assertion "
+            f"(>= {args.assert_cluster_efficiency}) ok"
+        )
     return report
 
 

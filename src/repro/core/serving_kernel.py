@@ -199,10 +199,30 @@ class FrozenRecurrenceKernel:
             degree_scale, dtype=self.dtype
         ).reshape(self.num_nodes, 1, 1)
         self._workspaces: dict[int, _Workspace] = {}
+        # Batch sizes exempt from LRU eviction (see pin_workspace): a
+        # cluster worker pins its steady-state micro-batch size so ragged
+        # loader tails can never evict the hot workspace.
+        self._pinned: set[int] = set()
         # The workspace is mutated in place per request; one forward at a
         # time keeps concurrent ``ForecastService.predict`` callers correct
         # (the preallocation gain dwarfs an uncontended lock acquisition).
         self._lock = threading.Lock()
+
+    def pin_workspace(self, batch: int) -> None:
+        """Preallocate the workspace for ``batch`` and exempt it from eviction.
+
+        Serving-cluster workers call this once per process with their
+        batcher's ``max_batch``: the first steady-state request then pays no
+        allocation, and the LRU (which only counts *unpinned* sizes against
+        ``_MAX_WORKSPACES``) can never drop the hot buffer when ragged batch
+        sizes churn the cache.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        with self._lock:
+            if batch not in self._workspaces:
+                self._workspaces[batch] = _Workspace(self, batch)
+            self._pinned.add(batch)
 
     # ------------------------------------------------------------------ #
     # Building blocks
@@ -396,10 +416,12 @@ class FrozenRecurrenceKernel:
         with self._lock:
             ws = self._workspaces.get(batch)
             if ws is None:
-                if len(self._workspaces) >= _MAX_WORKSPACES:
-                    self._workspaces.pop(next(iter(self._workspaces)))
+                unpinned = [b for b in self._workspaces if b not in self._pinned]
+                if len(unpinned) >= _MAX_WORKSPACES:
+                    self._workspaces.pop(unpinned[0])
                 ws = self._workspaces[batch] = _Workspace(self, batch)
-            else:  # LRU: re-insert so the oldest key stays first
+            elif batch not in self._pinned:
+                # LRU: re-insert so the oldest unpinned key stays first
                 self._workspaces[batch] = self._workspaces.pop(batch)
 
             # Node-major view of the request: (T, N, B, C).

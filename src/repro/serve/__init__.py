@@ -13,10 +13,23 @@ package exploits that:
 * :class:`MicroBatcher` coalesces concurrent requests (up to
   ``max_batch`` / ``max_wait_ms``) into one batched forward, trading a few
   milliseconds of queueing delay for much higher throughput.
-* ``python -m repro.serve`` is the command-line entry point.
+* :class:`ServingCluster` replicates the frozen kernel across worker
+  processes (shared-memory request rings, per-worker micro-batching, an
+  asyncio front door) for multi-core throughput on one host.
+* ``python -m repro.serve`` is the command-line entry point
+  (``--workers N`` routes through the cluster).
 """
 
 from repro.serve.batching import BatchStats, MicroBatcher
+from repro.serve.cluster import ClusterError, ServingCluster, WorkerDiedError
 from repro.serve.service import ForecastService, FrozenGraph
 
-__all__ = ["ForecastService", "FrozenGraph", "MicroBatcher", "BatchStats"]
+__all__ = [
+    "ForecastService",
+    "FrozenGraph",
+    "MicroBatcher",
+    "BatchStats",
+    "ServingCluster",
+    "ClusterError",
+    "WorkerDiedError",
+]

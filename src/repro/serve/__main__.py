@@ -9,6 +9,9 @@ micro-batching queue and reports latency/throughput, e.g.::
 
     # synthetic smoke run straight from the bundle's own config
     python -m repro.serve checkpoints/sagdfn_bundle.npz --requests 32 --max-batch 8
+
+    # multi-worker cluster: replicate the frozen kernel across processes
+    python -m repro.serve checkpoints/sagdfn_bundle.npz --workers 4 --requests 256
 """
 
 from __future__ import annotations
@@ -36,6 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write predictions (R, f, N, 1) to this .npy file")
     parser.add_argument("--requests", type=int, default=16,
                         help="number of synthetic requests when --input is omitted")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; >1 replicates the frozen kernel "
+                             "across a same-host ServingCluster (shared-memory "
+                             "request rings, one micro-batcher per worker)")
     parser.add_argument("--max-batch", type=int, default=8,
                         help="micro-batching: largest coalesced batch")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -57,7 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_windows(args, service: ForecastService) -> np.ndarray:
+def _load_windows(args, config: dict) -> np.ndarray:
     if args.input is not None:
         windows = np.load(args.input)
         if windows.ndim == 3:
@@ -67,7 +74,6 @@ def _load_windows(args, service: ForecastService) -> np.ndarray:
                 f"--input must hold (R, h, N, C) or (h, N, C) windows, got {windows.shape}"
             )
         return windows
-    config = service.config
     if not config:
         raise SystemExit("bundle has no model config; synthetic requests need --input")
     # Scenario-aware request width: endogenous channels, declared exogenous
@@ -85,10 +91,60 @@ def _load_windows(args, service: ForecastService) -> np.ndarray:
     return windows
 
 
+def _report(windows: np.ndarray, predictions: np.ndarray, elapsed: float,
+            stats, output: Path | None) -> None:
+    throughput = len(windows) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"served {len(windows)} requests in {elapsed * 1000.0:.1f} ms "
+        f"({throughput:.1f} req/s) over {stats.num_batches} batches "
+        f"(mean batch {stats.mean_batch_size:.1f}, max {stats.max_batch_size})"
+    )
+    if output is not None:
+        np.save(output, predictions)
+        print(f"wrote predictions {predictions.shape} to {output}")
+
+
+def _serve_cluster(args) -> int:
+    from repro.serve.cluster import ServingCluster
+    from repro.utils.checkpoint import load_bundle
+
+    if args.no_freeze:
+        raise SystemExit("--no-freeze is a single-process debugging flag; drop --workers")
+    windows = _load_windows(args, load_bundle(args.checkpoint).config)
+    load_start = time.perf_counter()
+    with ServingCluster(
+        args.checkpoint,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        chunk_size=args.chunk_size,
+        memory_budget_mb=args.memory_budget_mb,
+        backend=args.backend,
+    ) as cluster:
+        load_ms = (time.perf_counter() - load_start) * 1000.0
+        print(
+            f"started {cluster.workers}-worker cluster on {args.checkpoint} "
+            f"in {load_ms:.1f} ms"
+        )
+        serve_start = time.perf_counter()
+        futures = [cluster.submit(window) for window in windows]
+        predictions = np.stack([future.result() for future in futures])
+        elapsed = time.perf_counter() - serve_start
+        stats = cluster.stats
+    _report(windows, predictions, elapsed, stats, args.output)
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.requests < 1:
+    # --requests only sizes the *synthetic* workload; with --input the
+    # request count comes from the file and the flag must not reject runs.
+    if args.input is None and args.requests < 1:
         raise SystemExit("--requests must be >= 1")
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.workers > 1:
+        return _serve_cluster(args)
 
     load_start = time.perf_counter()
     service = ForecastService.from_checkpoint(
@@ -105,24 +161,14 @@ def main(argv=None) -> int:
         f"({mode} mode, {service.backend_name} backend)"
     )
 
-    windows = _load_windows(args, service)
+    windows = _load_windows(args, service.config)
     serve_start = time.perf_counter()
-    with MicroBatcher(service.predict, max_batch=args.max_batch,
-                      max_wait_ms=args.max_wait_ms) as batcher:
+    with MicroBatcher.for_service(service, max_batch=args.max_batch,
+                                  max_wait_ms=args.max_wait_ms) as batcher:
         futures = [batcher.submit(window) for window in windows]
         predictions = np.stack([future.result() for future in futures])
     elapsed = time.perf_counter() - serve_start
-    stats = batcher.stats
-
-    throughput = len(windows) / elapsed if elapsed > 0 else float("inf")
-    print(
-        f"served {len(windows)} requests in {elapsed * 1000.0:.1f} ms "
-        f"({throughput:.1f} req/s) over {stats.num_batches} batches "
-        f"(mean batch {stats.mean_batch_size:.1f}, max {stats.max_batch_size})"
-    )
-    if args.output is not None:
-        np.save(args.output, predictions)
-        print(f"wrote predictions {predictions.shape} to {args.output}")
+    _report(windows, predictions, elapsed, batcher.stats, args.output)
     return 0
 
 

@@ -14,7 +14,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -29,20 +29,40 @@ class BatchStats:
     Batches whose forward raised are counted too (in ``num_batches`` /
     ``num_requests`` as well as ``num_failed_batches``), so the counters
     reflect every batch the worker actually formed, not just the lucky ones.
+
+    :meth:`record` is lock-guarded: the counters are fed from the batching
+    worker thread but read (and, in multi-batcher setups like the serving
+    cluster, merged) from arbitrary threads, and the read-modify-write
+    increments would otherwise race and undercount.
     """
 
     num_requests: int = 0
     num_batches: int = 0
     max_batch_size: int = 0
     num_failed_batches: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, batch_size: int, failed: bool = False) -> None:
-        self.num_requests += batch_size
-        self.num_batches += 1
-        if batch_size > self.max_batch_size:
-            self.max_batch_size = batch_size
-        if failed:
-            self.num_failed_batches += 1
+        with self._lock:
+            self.num_requests += batch_size
+            self.num_batches += 1
+            if batch_size > self.max_batch_size:
+                self.max_batch_size = batch_size
+            if failed:
+                self.num_failed_batches += 1
+
+    def merge(self, other: "BatchStats") -> None:
+        """Fold ``other``'s counters into this one (cluster-wide aggregation)."""
+        with other._lock:
+            requests, batches = other.num_requests, other.num_batches
+            largest, failed = other.max_batch_size, other.num_failed_batches
+        with self._lock:
+            self.num_requests += requests
+            self.num_batches += batches
+            self.max_batch_size = max(self.max_batch_size, largest)
+            self.num_failed_batches += failed
 
     @property
     def mean_batch_size(self) -> float:
@@ -64,12 +84,28 @@ class MicroBatcher:
         How long the worker waits for additional requests after the first
         one of a batch arrives.  ``0`` disables coalescing delay (batches
         only form from already-queued requests).
+    expected_channels:
+        Total per-window channel width ``predict_fn`` expects (observation-
+        mask channel *included* for mask-aware models).  When set, every
+        :meth:`submit` validates the window width after any ``mask``
+        concatenation — a ``(h, N, C)`` window for a mask-aware model would
+        otherwise silently misread its last data channel as the mask.
+        ``None`` disables the check (the width cannot be known for a bare
+        ``predict_fn``).
+    mask_input:
+        Whether ``predict_fn`` serves a mask-aware model, i.e. whether the
+        trailing channel of each window is the observation mask.  Only
+        meaningful together with ``expected_channels``; gates the ``mask``
+        argument of :meth:`submit`.
 
     Use as a context manager, or call :meth:`close` to drain and stop::
 
         with MicroBatcher(service.predict, max_batch=32, max_wait_ms=2) as mb:
             futures = [mb.submit(w) for w in windows]
             results = [f.result() for f in futures]
+
+    :meth:`for_service` wires ``expected_channels`` / ``mask_input``
+    straight from a :class:`~repro.serve.service.ForecastService`.
     """
 
     def __init__(
@@ -77,14 +113,20 @@ class MicroBatcher:
         predict_fn: Callable[[np.ndarray], np.ndarray],
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
+        expected_channels: int | None = None,
+        mask_input: bool = False,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if expected_channels is not None and expected_channels < 1:
+            raise ValueError("expected_channels must be >= 1")
         self.predict_fn = predict_fn
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.expected_channels = expected_channels
+        self.mask_input = bool(mask_input)
         self.stats = BatchStats()
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
@@ -101,13 +143,76 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # Client side
     # ------------------------------------------------------------------ #
-    def submit(self, window: np.ndarray) -> Future:
-        """Enqueue one history window ``(h, N, C)``; resolves to ``(f, N, 1)``.
+    @classmethod
+    def for_service(cls, service, **kwargs) -> "MicroBatcher":
+        """A batcher over ``service.predict`` with the scenario contract wired.
+
+        Reads the expected window width (mask channel included) and the
+        mask-awareness flag off the
+        :class:`~repro.serve.service.ForecastService`, so mis-shaped windows
+        are rejected at submit time instead of being silently misread.
+        """
+        return cls(
+            service.predict,
+            expected_channels=getattr(service, "expected_channels", None),
+            mask_input=getattr(service, "mask_input", False),
+            **kwargs,
+        )
+
+    def _validate(self, window: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+        """Apply the mask contract and width check; returns the final window."""
+        if window.ndim != 3:
+            raise ValueError(
+                f"window must be (steps, nodes, channels), got shape {window.shape}"
+            )
+        if mask is not None:
+            if self.expected_channels is not None and not self.mask_input:
+                raise ValueError(
+                    "mask= was given but the served model was not trained "
+                    "with mask_input; drop the mask"
+                )
+            mask = np.asarray(mask)
+            if mask.shape != window.shape[:2]:
+                raise ValueError(
+                    f"mask must be (steps, nodes) = {window.shape[:2]}, "
+                    f"got {mask.shape}"
+                )
+            window = np.concatenate(
+                [window, mask[..., None].astype(window.dtype, copy=False)], axis=-1
+            )
+        if (self.expected_channels is not None
+                and window.shape[-1] != self.expected_channels):
+            hint = ""
+            if self.mask_input and mask is None \
+                    and window.shape[-1] == self.expected_channels - 1:
+                hint = (
+                    " — the served model is mask-aware: pass mask=(steps, nodes) "
+                    "to submit(), or pre-concatenate the observation mask as "
+                    "the trailing channel"
+                )
+            raise ValueError(
+                f"window has {window.shape[-1]} channels, the served model "
+                f"expects {self.expected_channels}{hint}"
+            )
+        return window
+
+    def submit(self, window: np.ndarray, mask: np.ndarray | None = None) -> Future:
+        """Enqueue one history window ``(h, N, C)``; resolves to ``(f, N, ·)``.
+
+        ``mask`` optionally supplies the observation mask ``(h, N)`` of a
+        mask-aware model (1 = observed); it is appended as the trailing
+        input channel before batching, exactly as
+        :meth:`ForecastService.predict` does.  A mask-aware request may
+        equally arrive with the mask already concatenated, in which case
+        ``mask`` must be omitted.  When the batcher knows the served
+        model's channel width (see ``expected_channels`` /
+        :meth:`for_service`), mis-shaped windows raise ``ValueError`` here
+        instead of being silently misread by the model.
 
         Raises ``RuntimeError`` once :meth:`close` has begun — late
         submissions are rejected deterministically instead of being dropped.
         """
-        window = np.asarray(window)
+        window = self._validate(np.asarray(window), mask)
         with self._lifecycle:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
@@ -115,9 +220,10 @@ class MicroBatcher:
             self._queue.put((window, future))
         return future
 
-    def predict(self, window: np.ndarray, timeout: float | None = None) -> np.ndarray:
+    def predict(self, window: np.ndarray, mask: np.ndarray | None = None,
+                timeout: float | None = None) -> np.ndarray:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(window).result(timeout=timeout)
+        return self.submit(window, mask=mask).result(timeout=timeout)
 
     def close(self) -> None:
         """Stop accepting requests, drain the queue and join the worker.
@@ -165,18 +271,30 @@ class MicroBatcher:
             if item is _SHUTDOWN:
                 break
             batch, shutdown = self._collect(item)
-            futures = [future for _, future in batch]
+            # Claim every future before the forward: a client that cancelled
+            # while queued must be skipped — set_result/set_exception on a
+            # CANCELLED future raises InvalidStateError, which would kill
+            # this worker thread and hang every later submission.  After a
+            # successful claim the future is RUNNING and can no longer be
+            # cancelled, so the resolution below is race-free.
+            live = [
+                (window, future) for window, future in batch
+                if future.set_running_or_notify_cancel()
+            ]
+            if not live:
+                continue
+            futures = [future for _, future in live]
             try:
-                windows = np.stack([window for window, _ in batch])
+                windows = np.stack([window for window, _ in live])
                 predictions = self.predict_fn(windows)
             except Exception as error:  # propagate to every waiting client
                 for future in futures:
                     future.set_exception(error)
-                self.stats.record(len(batch), failed=True)
+                self.stats.record(len(live), failed=True)
                 continue
             for i, future in enumerate(futures):
                 future.set_result(predictions[i])
-            self.stats.record(len(batch))
+            self.stats.record(len(live))
         # Drain anything still queued after shutdown so no client hangs.
         while True:
             try:
@@ -186,6 +304,8 @@ class MicroBatcher:
             if item is _SHUTDOWN:
                 continue
             window, future = item
+            if not future.set_running_or_notify_cancel():
+                continue  # cancelled while queued
             try:
                 future.set_result(self.predict_fn(window[None])[0])
                 self.stats.record(1)

@@ -1,0 +1,660 @@
+"""Multi-worker serving cluster: replicated kernels behind one front door.
+
+One :class:`~repro.serve.service.ForecastService` is bounded by one core:
+the frozen-recurrence kernel saturates a single process, so heavy traffic
+needs *replicas*.  :class:`ServingCluster` runs a pool of worker processes,
+each rehydrating its own :class:`~repro.core.serving_kernel.FrozenRecurrenceKernel`
+from the **same** checkpoint bundle (every replica is bit-identically the
+same forecaster — the bundle carries config, parameters, SNS candidates and
+the frozen index set), and fans requests over them:
+
+* **Shared-memory ring buffers** — each worker owns a request ring and a
+  response ring backed by :mod:`multiprocessing.shared_memory`, sized
+  ``slots × max_batch`` windows/predictions.  ``(B, h, N, C)`` batches cross
+  the process boundary as raw buffer copies; only a tiny ``(seq, slot,
+  batch)`` header travels over the control pipe, so nothing is ever pickled
+  on the hot path.
+* **Per-worker micro-batching** — the front door routes each submitted
+  window round-robin into one :class:`~repro.serve.MicroBatcher` per worker,
+  so request coalescing (and its amortisation of per-forward overhead)
+  happens exactly as in single-process serving, once per replica.
+* **An asyncio front door** — :meth:`submit` returns a
+  :class:`concurrent.futures.Future`; :meth:`predict_async` /
+  :meth:`serve_async` wrap them for ``await``-style fan-out/gather.
+* **Liveness** — workers heartbeat over the control pipe and exit when the
+  parent disappears; the front door detects a dead worker mid-batch
+  (pipe EOF, process exit, or request timeout), re-dispatches the batch
+  once to a live peer, and otherwise fails the batch's futures with a
+  descriptive :class:`WorkerDiedError` — pending futures never hang.
+
+Shared-memory transport is **same-host only**: workers must run on the
+machine that created the rings.  The pool replicates the full graph for
+throughput; sharding a huge graph across nodes is a separate axis.
+
+Typical use::
+
+    with ServingCluster("bundle.npz", workers=4, max_batch=32) as cluster:
+        futures = [cluster.submit(w) for w in windows]
+        results = [f.result() for f in futures]
+
+or through asyncio::
+
+    async with_cluster():
+        predictions = await cluster.serve_async(windows)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from concurrent.futures import Future
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.batching import BatchStats, MicroBatcher
+from repro.utils.checkpoint import load_bundle
+
+# BLAS pools are capped per worker *before* the child imports numpy: a
+# replica that grabs every core starves its peers and flattens the scaling
+# curve the pool exists to bend.
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+class ClusterError(RuntimeError):
+    """A serving-cluster failure (configuration, startup, or no live workers)."""
+
+
+class WorkerDiedError(ClusterError):
+    """A worker process died (or stopped responding) with requests in flight."""
+
+
+def _geometry(config: dict, dtype: str) -> tuple[tuple, tuple, np.dtype]:
+    """Window/prediction shapes and dtype of one request, from a bundle config.
+
+    The parent sizes both shared-memory rings from the config alone —
+    workers are spawned only after the rings exist, so their names can be
+    handed over at start-up.
+    """
+    try:
+        history = int(config["history"])
+        num_nodes = int(config["num_nodes"])
+        horizon = int(config["horizon"])
+        input_dim = int(config["input_dim"])
+    except (KeyError, TypeError) as error:
+        raise ClusterError(
+            "bundle config is missing the request-geometry fields "
+            "(history/num_nodes/horizon/input_dim); cluster workers cannot "
+            "size their shared-memory rings"
+        ) from error
+    output_dim = int(config.get("output_dim", 1) or 1)
+    exog_dim = int(config.get("exog_dim", 0) or 0)
+    mask_channel = int(bool(config.get("mask_input", False)))
+    quantiles = config.get("quantiles")
+    num_quantiles = len(quantiles) if quantiles else 1
+    window_shape = (history, num_nodes, input_dim + exog_dim + mask_channel)
+    prediction_shape = (horizon, num_nodes, output_dim * num_quantiles)
+    return window_shape, prediction_shape, np.dtype(dtype)
+
+
+def _worker_main(
+    worker_id: int,
+    bundle_path: str,
+    conn,
+    request_name: str,
+    response_name: str,
+    slots: int,
+    max_batch: int,
+    window_shape: tuple,
+    prediction_shape: tuple,
+    dtype_str: str,
+    heartbeat_interval_s: float,
+    service_kwargs: dict,
+) -> None:
+    """Worker process: rehydrate the bundle once, then serve ring batches.
+
+    Exits on a ``stop`` message, on control-pipe EOF, or when the parent
+    process disappears between heartbeats — an orphaned worker must never
+    linger on a serving host.
+    """
+    request_shm = response_shm = None
+    try:
+        from repro.serve.service import ForecastService
+
+        service = ForecastService.from_checkpoint(bundle_path, **service_kwargs)
+        # Pin the steady-state workspace: the batcher's max_batch is the
+        # size every saturated batch arrives at.
+        service.pin_batch_size(max_batch)
+        dtype = np.dtype(dtype_str)
+        # Attach-only: ownership (and the unlink) stays with the parent.
+        # The resource tracker is shared with the parent under spawn, so
+        # the child must neither unlink nor unregister the rings.
+        request_shm = shared_memory.SharedMemory(name=request_name)
+        response_shm = shared_memory.SharedMemory(name=response_name)
+        requests = np.ndarray(
+            (slots, max_batch) + tuple(window_shape), dtype=dtype,
+            buffer=request_shm.buf,
+        )
+        responses = np.ndarray(
+            (slots, max_batch) + tuple(prediction_shape), dtype=dtype,
+            buffer=response_shm.buf,
+        )
+        conn.send(("ready", os.getpid()))
+    except Exception:
+        try:
+            conn.send(("fatal", traceback.format_exc()))
+        finally:
+            for shm in (request_shm, response_shm):
+                if shm is not None:
+                    shm.close()
+        return
+
+    parent = multiprocessing.parent_process()
+    try:
+        while True:
+            try:
+                if not conn.poll(heartbeat_interval_s):
+                    if parent is not None and not parent.is_alive():
+                        break  # orphaned
+                    conn.send(("hb", time.monotonic()))
+                    continue
+                message = conn.recv()
+            except (EOFError, BrokenPipeError, OSError):
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "ping":
+                conn.send(("hb", time.monotonic()))
+                continue
+            _, seq, slot, batch = message
+            try:
+                predictions = service.predict(requests[slot, :batch])
+                responses[slot, :batch] = predictions
+                reply = ("ok", seq, slot, batch)
+            except Exception:
+                reply = ("err", seq, traceback.format_exc(limit=8))
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        request_shm.close()
+        response_shm.close()
+        conn.close()
+
+
+class _WorkerChannel:
+    """Parent-side handle of one worker: rings, control pipe, liveness."""
+
+    def __init__(self, worker_id: int, ctx, bundle_path: str, slots: int,
+                 max_batch: int, window_shape: tuple, prediction_shape: tuple,
+                 dtype: np.dtype, request_timeout_s: float,
+                 heartbeat_interval_s: float, blas_threads: int | None,
+                 service_kwargs: dict):
+        self.worker_id = worker_id
+        self.slots = slots
+        self.max_batch = max_batch
+        self.request_timeout_s = request_timeout_s
+        self.alive = False
+        self.last_heartbeat: float | None = None
+        self._seq = 0
+        self._dispatch_lock = threading.Lock()
+        self.batcher: MicroBatcher | None = None  # wired by the cluster
+
+        window_bytes = int(np.prod(window_shape)) * dtype.itemsize
+        prediction_bytes = int(np.prod(prediction_shape)) * dtype.itemsize
+        self.request_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, slots * max_batch * window_bytes)
+        )
+        self.response_shm = shared_memory.SharedMemory(
+            create=True, size=max(1, slots * max_batch * prediction_bytes)
+        )
+        self.request_view = np.ndarray(
+            (slots, max_batch) + tuple(window_shape), dtype=dtype,
+            buffer=self.request_shm.buf,
+        )
+        self.response_view = np.ndarray(
+            (slots, max_batch) + tuple(prediction_shape), dtype=dtype,
+            buffer=self.response_shm.buf,
+        )
+
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            name=f"repro-serve-worker-{worker_id}",
+            args=(worker_id, str(bundle_path), child_conn,
+                  self.request_shm.name, self.response_shm.name,
+                  slots, max_batch, tuple(window_shape),
+                  tuple(prediction_shape), dtype.str,
+                  heartbeat_interval_s, service_kwargs),
+            daemon=True,
+        )
+        # Cap the replica's BLAS pool before numpy is imported in the child
+        # (the env is captured at spawn time).
+        saved_env: dict[str, str | None] = {}
+        if blas_threads is not None:
+            for var in _BLAS_ENV_VARS:
+                saved_env[var] = os.environ.get(var)
+                os.environ[var] = str(blas_threads)
+        try:
+            self.process.start()
+        finally:
+            for var, value in saved_env.items():
+                if value is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = value
+        child_conn.close()  # the child's end lives in the child now
+
+    # ------------------------------------------------------------------ #
+    def wait_ready(self, timeout_s: float) -> None:
+        """Block until the worker reports ready (or fail descriptively)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ClusterError(
+                    f"worker {self.worker_id} did not come up within "
+                    f"{timeout_s:.0f} s"
+                )
+            if self.conn.poll(min(0.2, remaining)):
+                try:
+                    message = self.conn.recv()
+                except (EOFError, OSError) as error:
+                    raise ClusterError(
+                        f"worker {self.worker_id} closed its control pipe "
+                        "during startup"
+                    ) from error
+                if message[0] == "ready":
+                    self.alive = True
+                    self.last_heartbeat = time.monotonic()
+                    return
+                if message[0] == "fatal":
+                    raise ClusterError(
+                        f"worker {self.worker_id} failed to rehydrate the "
+                        f"bundle:\n{message[1]}"
+                    )
+            elif not self.process.is_alive():
+                raise ClusterError(
+                    f"worker {self.worker_id} exited during startup "
+                    f"(exitcode {self.process.exitcode})"
+                )
+
+    def _mark_dead(self) -> None:
+        self.alive = False
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """One batched round-trip through the rings (serialised per worker)."""
+        batch = windows.shape[0]
+        if batch > self.max_batch:
+            raise ClusterError(
+                f"batch of {batch} exceeds the ring slot capacity "
+                f"{self.max_batch}"
+            )
+        with self._dispatch_lock:
+            if not self.alive:
+                raise WorkerDiedError(
+                    f"worker {self.worker_id} is not alive"
+                )
+            self._seq += 1
+            seq = self._seq
+            slot = seq % self.slots
+            self.request_view[slot, :batch] = windows  # dtype cast included
+            try:
+                self.conn.send(("job", seq, slot, batch))
+            except (BrokenPipeError, OSError) as error:
+                self._mark_dead()
+                raise WorkerDiedError(
+                    f"worker {self.worker_id} control pipe is closed"
+                ) from error
+            deadline = time.monotonic() + self.request_timeout_s
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._mark_dead()
+                    raise WorkerDiedError(
+                        f"worker {self.worker_id} did not answer within "
+                        f"{self.request_timeout_s:.0f} s (batch of {batch} "
+                        "in flight)"
+                    )
+                if self.conn.poll(min(0.1, remaining)):
+                    try:
+                        message = self.conn.recv()
+                    except (EOFError, OSError) as error:
+                        self._mark_dead()
+                        raise WorkerDiedError(
+                            f"worker {self.worker_id} died mid-batch "
+                            "(control pipe EOF)"
+                        ) from error
+                    kind = message[0]
+                    if kind == "hb":
+                        self.last_heartbeat = message[1]
+                        continue
+                    if kind == "ok":
+                        _, r_seq, r_slot, r_batch = message
+                        if r_seq != seq:
+                            continue  # stale answer from a superseded dispatch
+                        return np.array(
+                            self.response_view[r_slot, :r_batch], copy=True
+                        )
+                    if kind == "err":
+                        _, r_seq, detail = message
+                        if r_seq != seq:
+                            continue
+                        raise RuntimeError(
+                            f"worker {self.worker_id} prediction failed:\n"
+                            f"{detail}"
+                        )
+                    if kind == "fatal":
+                        self._mark_dead()
+                        raise WorkerDiedError(
+                            f"worker {self.worker_id} aborted:\n{message[1]}"
+                        )
+                elif not self.process.is_alive():
+                    self._mark_dead()
+                    raise WorkerDiedError(
+                        f"worker {self.worker_id} died mid-batch "
+                        f"(exitcode {self.process.exitcode})"
+                    )
+
+    def shutdown(self, join_timeout_s: float = 10.0) -> None:
+        """Stop the worker and release the rings (idempotent, never raises)."""
+        self.alive = False
+        try:
+            self.conn.send(("stop",))
+        except Exception:
+            pass
+        self.process.join(join_timeout_s)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(2.0)
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        for shm in (self.request_shm, self.response_shm):
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+
+
+class ServingCluster:
+    """A pool of bundle-replica worker processes behind an async front door.
+
+    Parameters
+    ----------
+    bundle_path:
+        A serving bundle written by :func:`repro.utils.save_bundle`.  Every
+        worker rehydrates its own :class:`ForecastService` from this file
+        (see :func:`repro.utils.checkpoint.rehydrate_model`), so all
+        replicas produce bit-identical predictions.
+    workers:
+        Number of worker processes.  Throughput scales with workers until
+        the host runs out of cores.
+    max_batch / max_wait_ms:
+        Per-worker micro-batching knobs (see :class:`MicroBatcher`); also
+        the ring-slot capacity, and the workspace size each worker pins.
+    slots:
+        Ring depth per worker.  Each worker has at most one batch in flight
+        today, but the ring keeps slot reuse away from the response copy
+        and leaves room for pipelined dispatch.
+    request_timeout_s:
+        Hard deadline for one batched round-trip; a worker that exceeds it
+        is declared dead and its batch re-dispatched or failed.
+    heartbeat_interval_s:
+        Idle-worker heartbeat period; also how often an orphaned worker
+        checks that its parent still exists.
+    start_timeout_s:
+        How long to wait for each worker's rehydrate-and-ready handshake.
+    blas_threads:
+        BLAS thread cap exported to every worker before it imports numpy
+        (default 1 — replicas must not fight over cores).  ``None`` leaves
+        the host's BLAS configuration untouched.
+    backend / chunk_size / memory_budget_mb:
+        Forwarded to every worker's
+        :meth:`ForecastService.from_checkpoint`.
+    mp_context:
+        :mod:`multiprocessing` start method.  The default ``"spawn"`` gives
+        every worker a clean interpreter (fresh BLAS pools, no inherited
+        locks); ``"fork"`` starts faster but is unsafe under threads.
+
+    Submitting returns :class:`concurrent.futures.Future`\\ s; asyncio
+    callers use :meth:`predict_async` / :meth:`serve_async`.  Use as a
+    context manager (or call :meth:`close`) — shutdown drains every
+    worker's queue, so in-flight futures resolve or fail deterministically,
+    then stops the processes and unlinks the shared memory.
+    """
+
+    def __init__(
+        self,
+        bundle_path: str | Path,
+        workers: int = 2,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        slots: int = 2,
+        request_timeout_s: float = 120.0,
+        heartbeat_interval_s: float = 1.0,
+        start_timeout_s: float = 120.0,
+        blas_threads: int | None = 1,
+        backend: str | None = None,
+        chunk_size: int | None = None,
+        memory_budget_mb: float | None = None,
+        mp_context: str = "spawn",
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.bundle_path = Path(bundle_path)
+        bundle = load_bundle(self.bundle_path)
+        window_shape, prediction_shape, dtype = _geometry(
+            bundle.config, bundle.dtype
+        )
+        self.window_shape = window_shape
+        self.prediction_shape = prediction_shape
+        self.dtype = dtype
+        self.mask_input = bool(bundle.config.get("mask_input", False))
+        self.expected_channels = int(window_shape[-1])
+        self.max_batch = max_batch
+
+        service_kwargs = {
+            "backend": backend,
+            "chunk_size": chunk_size,
+            "memory_budget_mb": memory_budget_mb,
+        }
+        ctx = multiprocessing.get_context(mp_context)
+        self._channels: list[_WorkerChannel] = []
+        self._lifecycle = threading.Lock()
+        self._closed = False
+        self._rr = 0
+        self._rr_lock = threading.Lock()
+        try:
+            for worker_id in range(workers):
+                self._channels.append(
+                    _WorkerChannel(
+                        worker_id, ctx, str(self.bundle_path), slots,
+                        max_batch, window_shape, prediction_shape, dtype,
+                        request_timeout_s, heartbeat_interval_s,
+                        blas_threads, service_kwargs,
+                    )
+                )
+            for channel in self._channels:
+                channel.wait_ready(start_timeout_s)
+            for channel in self._channels:
+                channel.batcher = MicroBatcher(
+                    self._make_predict_fn(channel),
+                    max_batch=max_batch,
+                    max_wait_ms=max_wait_ms,
+                    expected_channels=self.expected_channels,
+                    mask_input=self.mask_input,
+                )
+        except Exception:
+            self._teardown()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _pick_channel(self, exclude=None) -> _WorkerChannel | None:
+        """Next live worker, round-robin; ``None`` when none remain."""
+        with self._rr_lock:
+            start = self._rr
+            self._rr += 1
+        n = len(self._channels)
+        for offset in range(n):
+            channel = self._channels[(start + offset) % n]
+            if channel.alive and channel is not exclude:
+                return channel
+        return None
+
+    def _make_predict_fn(self, channel: _WorkerChannel):
+        """The per-worker batched dispatch, with one re-dispatch on death.
+
+        A worker that dies mid-batch loses nothing but time: the batch is
+        retried once on a live peer (direct dispatch — the peer's own lock
+        serialises it against its micro-batcher).  With no live peer left
+        the batch's futures fail with a descriptive error instead of
+        hanging.
+        """
+
+        def predict(windows: np.ndarray) -> np.ndarray:
+            try:
+                return channel.predict(windows)
+            except WorkerDiedError as error:
+                peer = self._pick_channel(exclude=channel)
+                if peer is None:
+                    raise ClusterError(
+                        f"batch of {windows.shape[0]} failed: {error}; "
+                        "no live worker left to re-dispatch to"
+                    ) from error
+                return peer.predict(windows)
+
+        return predict
+
+    # ------------------------------------------------------------------ #
+    # Front door
+    # ------------------------------------------------------------------ #
+    def submit(self, window: np.ndarray, mask: np.ndarray | None = None) -> Future:
+        """Enqueue one ``(h, N, C)`` window; resolves to ``(f, N, ·)``.
+
+        Routed round-robin into one worker's micro-batcher.  ``mask``
+        follows the :meth:`MicroBatcher.submit` contract for mask-aware
+        bundles.  Raises ``RuntimeError`` after :meth:`close` and
+        :class:`ClusterError` when every worker is dead.
+        """
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed ServingCluster")
+        channel = self._pick_channel()
+        if channel is None:
+            raise ClusterError("no live workers in the cluster")
+        return channel.batcher.submit(window, mask=mask)
+
+    def predict(self, window: np.ndarray, mask: np.ndarray | None = None,
+                timeout: float | None = None) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(window, mask=mask).result(timeout=timeout)
+
+    async def predict_async(self, window: np.ndarray,
+                            mask: np.ndarray | None = None) -> np.ndarray:
+        """Awaitable single-window forecast (asyncio front door)."""
+        return await asyncio.wrap_future(self.submit(window, mask=mask))
+
+    async def serve_async(self, windows: np.ndarray,
+                          masks: np.ndarray | None = None) -> np.ndarray:
+        """Fan ``(R, h, N, C)`` requests across the pool and gather ``(R, f, N, ·)``.
+
+        Submission happens up front (so micro-batches can coalesce across
+        the whole burst); the gather preserves request order.
+        """
+        futures = [
+            self.submit(window, mask=None if masks is None else masks[i])
+            for i, window in enumerate(windows)
+        ]
+        results = await asyncio.gather(
+            *(asyncio.wrap_future(future) for future in futures)
+        )
+        return np.stack(results)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> int:
+        return len(self._channels)
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for channel in self._channels if channel.alive)
+
+    @property
+    def stats(self) -> BatchStats:
+        """Cluster-wide batching counters (sum over every worker's batcher)."""
+        total = BatchStats()
+        for channel in self._channels:
+            if channel.batcher is not None:
+                total.merge(channel.batcher.stats)
+        return total
+
+    @property
+    def worker_stats(self) -> list[BatchStats]:
+        return [
+            channel.batcher.stats
+            for channel in self._channels
+            if channel.batcher is not None
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _teardown(self) -> None:
+        for channel in self._channels:
+            if channel.batcher is not None:
+                channel.batcher.close()
+        for channel in self._channels:
+            channel.shutdown()
+
+    def close(self) -> None:
+        """Drain in-flight requests, stop the workers, release the rings.
+
+        Safe to call repeatedly and from several threads.  Every future
+        already submitted resolves (or fails with a descriptive error —
+        dead workers included) before the processes are stopped; late
+        :meth:`submit` calls raise deterministically.
+        """
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+        self._teardown()
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort: never leak processes or shm
+        try:
+            self.close()
+        except Exception:
+            pass

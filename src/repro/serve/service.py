@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -12,7 +13,7 @@ from repro.backend import BackendUnavailableError, OpsBackend, get_backend
 from repro.data.scalers import StandardScaler
 from repro.nn.module import Module
 from repro.tensor import Tensor, no_grad
-from repro.utils.checkpoint import CheckpointBundle, load_bundle
+from repro.utils.checkpoint import load_bundle, rehydrate_model, rehydrate_scaler
 
 
 @dataclass
@@ -185,11 +186,39 @@ class ForecastService:
                     backend=self.backend,
                 )
         self.num_requests = 0
+        # predict() runs concurrently under the multi-threaded/async front
+        # door; the read-modify-write counter increment must not race.
+        self._counter_lock = threading.Lock()
 
     @property
     def backend_name(self) -> str:
         """Registry name of the backend serving this model."""
         return self.backend.name
+
+    @property
+    def expected_channels(self) -> int | None:
+        """Total per-window channel width :meth:`predict` expects.
+
+        Endogenous channels plus declared exogenous covariates plus the
+        observation-mask channel of mask-aware models — the width the data
+        layer produces and the width :class:`~repro.serve.MicroBatcher`
+        validates at submit time.  ``None`` when the service has no config
+        to derive it from (e.g. a bare baseline module).
+        """
+        if not self.config or "input_dim" not in self.config:
+            return None
+        return int(self.config["input_dim"]) + self.exog_dim + int(self.mask_input)
+
+    def pin_batch_size(self, batch: int) -> None:
+        """Preallocate and pin the serving-kernel workspace for ``batch``.
+
+        Cluster workers call this once at start-up with their micro-batcher's
+        ``max_batch`` so the steady-state batch size neither pays first-
+        request allocation nor is ever evicted by the workspace LRU.  A
+        no-op when the service runs without the frozen-recurrence kernel.
+        """
+        if self._kernel is not None:
+            self._kernel.pin_workspace(batch)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -311,37 +340,11 @@ class ForecastService:
             use_kernel=use_kernel,
         )
 
-    @staticmethod
-    def _build_model(bundle: CheckpointBundle) -> Module:
-        if bundle.model_type != "SAGDFN":
-            raise ValueError(
-                f"cannot rehydrate model type {bundle.model_type!r}; "
-                "only SAGDFN bundles are currently servable"
-            )
-        if not bundle.config:
-            raise ValueError("bundle is missing the model config")
-        from repro.core import SAGDFN, SAGDFNConfig
-
-        model = SAGDFN(SAGDFNConfig(**bundle.config))
-        model.to(np.dtype(bundle.dtype))
-        if bundle.sampler_candidates is not None:
-            model.sampler.candidates = np.asarray(bundle.sampler_candidates, dtype=np.int64)
-        if bundle.index_set is not None:
-            model._index_set = np.asarray(bundle.index_set, dtype=np.int64)
-        model.load_state_dict(bundle.state)
-        return model
-
-    @staticmethod
-    def _build_scaler(bundle: CheckpointBundle) -> StandardScaler | None:
-        state = bundle.scaler_state
-        if state is None:
-            return None
-        if state.get("type") != "StandardScaler":
-            raise ValueError(f"unsupported scaler type {state.get('type')!r} in bundle")
-        scaler = StandardScaler()
-        scaler.mean_ = float(state["mean"])
-        scaler.std_ = float(state["std"])
-        return scaler
+    # Thin aliases kept for callers of the historical private names; the
+    # rehydration itself lives in repro.utils.checkpoint so cluster workers
+    # can rebuild a forecaster without importing the service first.
+    _build_model = staticmethod(rehydrate_model)
+    _build_scaler = staticmethod(rehydrate_scaler)
 
     # ------------------------------------------------------------------ #
     # Inference
@@ -396,7 +399,8 @@ class ForecastService:
             output = self._forward(Tensor(history, dtype=self._dtype))
             if self.scaler is not None:
                 output = output * self.scaler.std_ + self.scaler.mean_
-        self.num_requests += history.shape[0]
+        with self._counter_lock:
+            self.num_requests += history.shape[0]
         return output.data
 
     def predict_one(self, window: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:

@@ -7,6 +7,8 @@ from repro.utils.checkpoint import (
     CheckpointBundle,
     load_bundle,
     load_checkpoint,
+    rehydrate_model,
+    rehydrate_scaler,
     save_bundle,
     save_checkpoint,
 )
@@ -20,5 +22,7 @@ __all__ = [
     "load_checkpoint",
     "save_bundle",
     "load_bundle",
+    "rehydrate_model",
+    "rehydrate_scaler",
     "CheckpointBundle",
 ]

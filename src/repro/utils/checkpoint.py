@@ -252,6 +252,49 @@ def save_bundle(
     return path
 
 
+def rehydrate_model(bundle: CheckpointBundle) -> Module:
+    """Rebuild the saved forecaster from a :class:`CheckpointBundle`.
+
+    The worker-side rehydrate path: serving-cluster worker processes (and
+    :meth:`repro.serve.ForecastService.from_checkpoint`) rebuild the model
+    from the bundle alone — config, dtype, SNS sampler candidates, frozen
+    index set and parameters all come out of the archive, so every replica
+    of a bundle is bit-identically the same forecaster.
+    """
+    if bundle.model_type != "SAGDFN":
+        raise ValueError(
+            f"cannot rehydrate model type {bundle.model_type!r}; "
+            "only SAGDFN bundles are currently servable"
+        )
+    if not bundle.config:
+        raise ValueError("bundle is missing the model config")
+    from repro.core import SAGDFN, SAGDFNConfig
+
+    model = SAGDFN(SAGDFNConfig(**bundle.config))
+    model.to(np.dtype(bundle.dtype))
+    if bundle.sampler_candidates is not None:
+        model.sampler.candidates = np.asarray(bundle.sampler_candidates, dtype=np.int64)
+    if bundle.index_set is not None:
+        model._index_set = np.asarray(bundle.index_set, dtype=np.int64)
+    model.load_state_dict(bundle.state)
+    return model
+
+
+def rehydrate_scaler(bundle: CheckpointBundle):
+    """Rebuild the fitted target scaler from a bundle (``None`` if unscaled)."""
+    state = bundle.scaler_state
+    if state is None:
+        return None
+    if state.get("type") != "StandardScaler":
+        raise ValueError(f"unsupported scaler type {state.get('type')!r} in bundle")
+    from repro.data.scalers import StandardScaler
+
+    scaler = StandardScaler()
+    scaler.mean_ = float(state["mean"])
+    scaler.std_ = float(state["std"])
+    return scaler
+
+
 def load_bundle(path: str | Path) -> CheckpointBundle:
     """Read a serving bundle written by :func:`save_bundle`.
 

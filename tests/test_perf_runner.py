@@ -34,6 +34,8 @@ def tiny_report(run_perf, tmp_path_factory):
             "--scaling-sizes", "24", "48",
             "--scaling-embedding-dim", "4",
             "--scaling-budget-mb", "8",
+            "--cluster-workers", "1", "2",
+            "--cluster-requests", "8",
             "--output", str(output),
         ]
     )
@@ -174,7 +176,7 @@ class TestRecurrenceSection:
     def test_recurrence_section_present_and_sane(self, tiny_report):
         report, _ = tiny_report
         recurrence = report["recurrence"]
-        assert report["schema_version"] == 5
+        assert report["schema_version"] == 6
         assert recurrence["history"] > 0 and recurrence["horizon"] > 0
         (entry,) = recurrence["results"]
         assert entry["num_nodes"] == 24
@@ -309,6 +311,89 @@ class TestBackendsSection:
             run_perf.main(
                 ["--backend", "nope", "--backend-only", "--sizes", "24",
                  "--output", str(tmp_path / "b.json")]
+            )
+
+    def test_cluster_section_present_and_sane(self, tiny_report):
+        report, _ = tiny_report
+        cluster = report["cluster"]
+        assert cluster["num_nodes"] == 24
+        worker_counts = [entry["workers"] for entry in cluster["results"]]
+        assert worker_counts == [1, 2]
+        for entry in cluster["results"]:
+            assert entry["throughput_rps"] > 0
+            assert entry["latency_p95_ms"] >= entry["latency_p50_ms"] > 0
+            assert entry["scaling_efficiency"] > 0
+            assert entry["num_batches"] >= 1
+        assert cluster["results"][0]["scaling_efficiency"] == pytest.approx(1.0)
+        assert cluster["throughput_workers2_over_workers1"] > 0
+
+    def test_cluster_only_mode(self, run_perf, tmp_path):
+        output = tmp_path / "cluster.json"
+        report = run_perf.main(
+            [
+                "--cluster-only",
+                "--sizes", "24",
+                "--m", "6",
+                "--heads", "2",
+                "--embedding-dim", "4",
+                "--ffn-hidden", "4",
+                "--hidden", "4",
+                "--repeats", "1",
+                "--cluster-workers", "1", "2",
+                "--cluster-requests", "8",
+                "--assert-cluster-efficiency", "0.01",
+                "--output", str(output),
+            ]
+        )
+        assert report["benchmark"] == "attention-cluster"
+        on_disk = json.loads(output.read_text())
+        assert "results" not in on_disk  # only the cluster section is written
+        run_perf.validate_cluster(on_disk["cluster"])
+
+    def test_cluster_efficiency_assertion_fails_when_below(self, run_perf,
+                                                           tmp_path):
+        """Superlinear threshold: no host can satisfy efficiency >= 100."""
+        with pytest.raises(SystemExit, match="efficiency"):
+            run_perf.main(
+                [
+                    "--cluster-only",
+                    "--sizes", "24",
+                    "--m", "6",
+                    "--heads", "2",
+                    "--embedding-dim", "4",
+                    "--ffn-hidden", "4",
+                    "--hidden", "4",
+                    "--repeats", "1",
+                    "--cluster-workers", "1", "2",
+                    "--cluster-requests", "8",
+                    "--assert-cluster-efficiency", "100",
+                    "--output", str(tmp_path / "c.json"),
+                ]
+            )
+
+    def test_cluster_only_is_exclusive_and_validated(self, run_perf, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                ["--cluster-only", "--backend-only",
+                 "--output", str(tmp_path / "x.json")]
+            )
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                ["--cluster-workers", "0",
+                 "--output", str(tmp_path / "x.json")]
+            )
+
+    def test_cluster_validator_rejects_missing_keys(self, run_perf):
+        with pytest.raises(ValueError, match="non-empty results"):
+            run_perf.validate_cluster({"results": []})
+        with pytest.raises(ValueError, match="missing key"):
+            run_perf.validate_cluster(
+                {
+                    "num_nodes": 1, "requests": 8, "max_batch": 8,
+                    "dtype": "float32",
+                    "throughput_workers2_over_workers1": None,
+                    "results": [{"workers": 1}],
+                }
             )
 
     def test_backends_validator_rejects_missing_keys(self, run_perf):

@@ -11,7 +11,7 @@ from repro.core import SAGDFN, Trainer
 from repro.data.synthetic.traffic import TrafficConfig, generate_traffic_dataset
 from repro.experiments.common import prepare_data_from_series, small_sagdfn_config
 from repro.optim import Adam
-from repro.serve import ForecastService, MicroBatcher
+from repro.serve import BatchStats, ForecastService, MicroBatcher
 from repro.serve.__main__ import main as serve_main
 from repro.tensor import Tensor, no_grad
 from repro.utils import save_bundle, save_checkpoint
@@ -232,6 +232,192 @@ class TestMicroBatcher:
             MicroBatcher(lambda batch: batch, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(lambda batch: batch, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda batch: batch, expected_channels=0)
+
+    def test_cancelled_future_does_not_kill_worker(self):
+        """Regression: a Future cancelled while queued used to blow up the
+        worker thread with InvalidStateError at set_result time, silently
+        killing the batcher for every later request."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow(batch):
+            entered.set()
+            release.wait(timeout=30)
+            return batch * 2.0
+
+        batcher = MicroBatcher(slow, max_batch=4, max_wait_ms=0.0)
+        try:
+            blocker = batcher.submit(np.ones((1, 1, 1)))
+            assert entered.wait(timeout=10)
+            # Three requests queue behind the in-flight batch; cancel the
+            # middle one before the worker ever sees it.
+            queued = [batcher.submit(np.ones((1, 1, 1))) for _ in range(3)]
+            assert queued[1].cancel()
+            release.set()
+            assert np.allclose(blocker.result(timeout=30), 2.0)
+            assert np.allclose(queued[0].result(timeout=30), 2.0)
+            assert np.allclose(queued[2].result(timeout=30), 2.0)
+            assert queued[1].cancelled()
+            # The worker thread must have survived the cancelled Future.
+            follow_up = batcher.submit(np.ones((1, 1, 1)))
+            assert np.allclose(follow_up.result(timeout=30), 2.0)
+            assert batcher.stats.num_requests == 4  # cancelled one not served
+        finally:
+            release.set()
+            batcher.close()
+
+    def test_fully_cancelled_batch_is_skipped(self):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow(batch):
+            entered.set()
+            release.wait(timeout=30)
+            return batch
+
+        batcher = MicroBatcher(slow, max_batch=2, max_wait_ms=0.0)
+        try:
+            blocker = batcher.submit(np.ones((1, 1, 1)))
+            assert entered.wait(timeout=10)
+            queued = [batcher.submit(np.ones((1, 1, 1))) for _ in range(2)]
+            for future in queued:
+                assert future.cancel()
+            release.set()
+            blocker.result(timeout=30)
+            follow_up = batcher.submit(np.ones((1, 1, 1)))
+            follow_up.result(timeout=30)
+            assert batcher.stats.num_requests == 2
+        finally:
+            release.set()
+            batcher.close()
+
+
+class TestBatchStatsThreadSafety:
+    def test_record_is_thread_safe(self):
+        """Regression: unguarded ``num_requests += batch`` dropped counts
+        under concurrent recording."""
+        stats = BatchStats()
+        rounds, threads_n = 2000, 8
+
+        def hammer():
+            for _ in range(rounds):
+                stats.record(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.num_requests == rounds * threads_n
+        assert stats.num_batches == rounds * threads_n
+
+    def test_merge_accumulates(self):
+        total = BatchStats()
+        part = BatchStats()
+        part.record(3)
+        part.record(5, failed=True)
+        total.merge(part)
+        total.merge(part)
+        assert total.num_requests == 16
+        assert total.num_batches == 4
+        assert total.max_batch_size == 5
+        assert total.num_failed_batches == 2
+
+
+class TestMaskThroughBatcher:
+    def _make(self, expected_channels, mask_input, calls):
+        def fn(batch):
+            calls.append(batch)
+            return batch
+
+        return MicroBatcher(fn, max_batch=4, max_wait_ms=1.0,
+                            expected_channels=expected_channels,
+                            mask_input=mask_input)
+
+    def test_mask_is_concatenated_as_trailing_channel(self):
+        calls = []
+        window = np.random.default_rng(0).normal(size=(4, 5, 2))
+        mask = np.ones((4, 5))
+        mask[1, 2] = 0.0
+        with self._make(3, True, calls) as batcher:
+            result = batcher.predict(window, mask=mask, timeout=30)
+        assert result.shape == (4, 5, 3)
+        assert np.array_equal(result[..., :2], window)
+        assert np.array_equal(result[..., 2], mask)
+
+    def test_pre_concatenated_mask_window_is_accepted(self):
+        calls = []
+        window = np.ones((4, 5, 3))
+        with self._make(3, True, calls) as batcher:
+            assert batcher.predict(window, timeout=30).shape == (4, 5, 3)
+
+    def test_missing_mask_channel_is_rejected_with_hint(self):
+        calls = []
+        with self._make(3, True, calls) as batcher:
+            with pytest.raises(ValueError, match="mask"):
+                batcher.submit(np.ones((4, 5, 2)))
+
+    def test_mask_for_maskless_model_is_rejected(self):
+        calls = []
+        with self._make(2, False, calls) as batcher:
+            with pytest.raises(ValueError, match="mask"):
+                batcher.submit(np.ones((4, 5, 2)), mask=np.ones((4, 5)))
+
+    def test_wrong_channel_width_is_rejected(self):
+        calls = []
+        with self._make(2, False, calls) as batcher:
+            with pytest.raises(ValueError, match="channel"):
+                batcher.submit(np.ones((4, 5, 7)))
+
+    def test_wrong_mask_shape_is_rejected(self):
+        calls = []
+        with self._make(3, True, calls) as batcher:
+            with pytest.raises(ValueError, match="mask"):
+                batcher.submit(np.ones((4, 5, 2)), mask=np.ones((4, 4)))
+
+    def test_for_service_validates_against_bundle_config(self, trained):
+        """for_service() wires the service's scenario width into the batcher:
+        the trained bundle is mask-less, so masks are rejected and the
+        declared width is enforced."""
+        _, _, data, bundle_path = trained
+        service = ForecastService.from_checkpoint(bundle_path)
+        batch_x, _ = next(iter(data.test_loader))
+        assert service.expected_channels == batch_x.shape[-1]
+        direct = service.predict(batch_x)
+        with MicroBatcher.for_service(service, max_batch=4,
+                                      max_wait_ms=5.0) as batcher:
+            futures = [batcher.submit(window) for window in batch_x]
+            results = np.stack([future.result(timeout=30) for future in futures])
+            with pytest.raises(ValueError, match="mask"):
+                batcher.submit(batch_x[0], mask=np.ones(batch_x[0].shape[:2]))
+            wrong = np.ones(batch_x[0].shape[:2] + (batch_x.shape[-1] + 1,))
+            with pytest.raises(ValueError, match="channel"):
+                batcher.submit(wrong)
+        assert np.allclose(results, direct)
+
+
+class TestServiceCounterThreadSafety:
+    def test_request_counter_survives_concurrent_predicts(self, trained):
+        """Regression: ``self.num_requests += batch`` raced across the
+        MicroBatcher worker and direct callers, losing requests."""
+        model, _, data, _ = trained
+        service = ForecastService(model, scaler=data.scaler)
+        batch_x, _ = next(iter(data.test_loader))
+        window = np.ascontiguousarray(batch_x[:1])
+        rounds, threads_n = 20, 6
+
+        def hammer():
+            for _ in range(rounds):
+                service.predict(window)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert service.num_requests == rounds * threads_n
 
 
 class TestServeCLI:
@@ -258,6 +444,24 @@ class TestServeCLI:
         assert code == 0
         service = ForecastService(model, scaler=data.scaler)
         assert np.allclose(np.load(output), service.predict(batch_x), atol=1e-6)
+
+    def test_input_file_ignores_requests_flag(self, trained, tmp_path):
+        """Regression: ``--input reqs.npy --requests 0`` used to exit even
+        though --requests only sizes the synthetic workload."""
+        _, _, data, bundle_path = trained
+        batch_x, _ = next(iter(data.test_loader))
+        request_path = tmp_path / "requests.npy"
+        np.save(request_path, batch_x)
+        output = tmp_path / "out.npy"
+        code = serve_main([str(bundle_path), "--input", str(request_path),
+                           "--requests", "0", "--output", str(output)])
+        assert code == 0
+        assert np.load(output).shape[0] == batch_x.shape[0]
+
+    def test_synthetic_zero_requests_is_still_rejected(self, trained):
+        _, _, _, bundle_path = trained
+        with pytest.raises(SystemExit, match="--requests"):
+            serve_main([str(bundle_path), "--requests", "0"])
 
     def test_plain_checkpoint_is_rejected(self, trained, tmp_path):
         model, _, _, _ = trained

@@ -1,0 +1,218 @@
+"""Tests for the multi-worker serving cluster.
+
+Covers the two guarantees the cluster must never break:
+
+* **Bit parity** — every worker rehydrates the same bundle, so a
+  4-worker cluster answers batch-1 requests bit-identically to a
+  single-process :class:`ForecastService` on the same bundle.
+* **Determinism under faults** — a worker killed mid-batch, a cluster
+  with no survivors, or a shutdown with requests in flight must resolve
+  or fail every Future descriptively; nothing may hang.
+
+Worker start-up goes through ``multiprocessing`` spawn, so the suite
+keeps models tiny and reuses one module-scoped 4-worker cluster for the
+non-destructive tests.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import SAGDFN, SAGDFNConfig
+from repro.serve import ClusterError, ForecastService, ServingCluster
+from repro.serve.__main__ import main as serve_main
+from repro.utils import save_bundle
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    """A frozen-graph SAGDFN bundle small enough for fast worker start-up."""
+    config = SAGDFNConfig(
+        num_nodes=6, history=4, horizon=3, embedding_dim=8,
+        num_significant=4, top_k=3, hidden_size=10,
+        num_heads=2, ffn_hidden=8, seed=0,
+    )
+    model = SAGDFN(config)
+    model.refresh_graph(0)
+    path = save_bundle(model, tmp_path_factory.mktemp("cluster") / "bundle")
+    return path, config
+
+
+@pytest.fixture(scope="module")
+def windows(bundle):
+    _, config = bundle
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(12, config.history, config.num_nodes,
+                            config.input_dim))
+
+
+@pytest.fixture(scope="module")
+def cluster4(bundle):
+    path, _ = bundle
+    with ServingCluster(path, workers=4, max_batch=4, max_wait_ms=1.0) as cluster:
+        yield cluster
+
+
+class TestClusterServing:
+    def test_four_workers_match_single_process_bitwise(self, bundle, windows,
+                                                       cluster4):
+        """Batch-1 requests through the 4-worker cluster are bit-identical
+        to ``service.predict`` on the same bundle (same batch size, same
+        rehydrated replica — nothing on the path may perturb a ulp)."""
+        path, _ = bundle
+        service = ForecastService.from_checkpoint(path)
+        for window in windows:
+            served = cluster4.predict(window, timeout=60)
+            reference = service.predict(window[None])[0]
+            assert np.array_equal(served, reference)
+
+    def test_concurrent_burst_is_served_in_order(self, bundle, windows,
+                                                 cluster4):
+        path, _ = bundle
+        service = ForecastService.from_checkpoint(path)
+        before = cluster4.stats.num_requests
+        futures = [cluster4.submit(window) for window in windows]
+        results = np.stack([future.result(timeout=60) for future in futures])
+        reference = service.predict(windows)
+        assert np.allclose(results, reference, atol=1e-9)
+        assert cluster4.stats.num_requests - before == len(windows)
+
+    def test_async_front_door_gathers_in_order(self, bundle, windows,
+                                               cluster4):
+        path, _ = bundle
+        service = ForecastService.from_checkpoint(path)
+        results = asyncio.run(cluster4.serve_async(windows))
+        assert np.allclose(results, service.predict(windows), atol=1e-9)
+
+    def test_burst_spreads_over_every_worker(self, cluster4, windows):
+        threads = []
+
+        def client(window):
+            cluster4.predict(window, timeout=60)
+
+        for window in windows:
+            for _ in range(2):
+                threads.append(threading.Thread(target=client, args=(window,)))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        per_worker = [stats.num_requests for stats in cluster4.worker_stats]
+        assert all(count > 0 for count in per_worker)
+
+    def test_mask_for_maskless_bundle_is_rejected(self, cluster4, windows):
+        with pytest.raises(ValueError, match="mask"):
+            cluster4.submit(windows[0], mask=np.ones(windows[0].shape[:2]))
+
+    def test_wrong_channel_width_is_rejected(self, cluster4, windows):
+        wrong = np.ones(windows[0].shape[:2] + (windows[0].shape[-1] + 3,))
+        with pytest.raises(ValueError, match="channel"):
+            cluster4.submit(wrong)
+
+    def test_invalid_configuration(self, bundle):
+        path, _ = bundle
+        with pytest.raises(ValueError):
+            ServingCluster(path, workers=0)
+        with pytest.raises(ValueError):
+            ServingCluster(path, workers=1, slots=0)
+
+
+class TestClusterFaults:
+    def test_worker_killed_mid_service_redispatches(self, bundle, windows):
+        """SIGKILL one of two workers, then serve a burst: every request
+        must still resolve (dead-worker batches re-dispatch to the live
+        peer) and the cluster must record the death."""
+        path, _ = bundle
+        with ServingCluster(path, workers=2, max_batch=4, max_wait_ms=1.0,
+                            request_timeout_s=30.0) as cluster:
+            service = ForecastService.from_checkpoint(path)
+            cluster.predict(windows[0], timeout=60)  # warm both ends
+            cluster._channels[0].process.kill()
+            cluster._channels[0].process.join(10.0)
+            futures = [cluster.submit(window) for window in windows]
+            results = np.stack([future.result(timeout=60) for future in futures])
+            assert np.allclose(results, service.predict(windows), atol=1e-9)
+            assert cluster.alive_workers == 1
+            # Later submits route straight to the survivor.
+            assert np.array_equal(
+                cluster.predict(windows[0], timeout=60),
+                service.predict(windows[0][None])[0],
+            )
+
+    def test_no_surviving_worker_fails_futures_descriptively(self, bundle,
+                                                             windows):
+        path, _ = bundle
+        with ServingCluster(path, workers=1, max_batch=4, max_wait_ms=1.0,
+                            request_timeout_s=30.0) as cluster:
+            cluster.predict(windows[0], timeout=60)
+            cluster._channels[0].process.kill()
+            cluster._channels[0].process.join(10.0)
+            future = cluster.submit(windows[0])
+            with pytest.raises(ClusterError, match="no live worker"):
+                future.result(timeout=60)
+            # With the death recorded, submit itself now fails fast.
+            with pytest.raises(ClusterError, match="no live workers"):
+                cluster.submit(windows[0])
+
+    def test_close_with_inflight_requests_resolves_everything(self, bundle,
+                                                              windows):
+        path, _ = bundle
+        cluster = ServingCluster(path, workers=2, max_batch=4, max_wait_ms=1.0)
+        futures = [cluster.submit(window) for window in windows]
+        cluster.close()  # drains before stopping the workers
+        for future in futures:
+            assert future.done()
+            assert future.result(timeout=1).shape[0] == windows.shape[1] - 1
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.submit(windows[0])
+
+    def test_close_stops_workers_and_unlinks_shared_memory(self, bundle,
+                                                           windows):
+        from multiprocessing import shared_memory
+
+        path, _ = bundle
+        cluster = ServingCluster(path, workers=2, max_batch=4, max_wait_ms=1.0)
+        names = [channel.request_shm.name for channel in cluster._channels]
+        names += [channel.response_shm.name for channel in cluster._channels]
+        processes = [channel.process for channel in cluster._channels]
+        cluster.predict(windows[0], timeout=60)
+        cluster.close()
+        cluster.close()  # idempotent
+        for process in processes:
+            assert not process.is_alive()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+class TestClusterCLI:
+    def test_workers_flag_routes_through_cluster(self, bundle, tmp_path,
+                                                 capsys):
+        path, _ = bundle
+        output = tmp_path / "predictions.npy"
+        code = serve_main([str(path), "--workers", "2", "--requests", "6",
+                           "--max-batch", "3", "--output", str(output)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "2-worker cluster" in printed
+        assert "served 6 requests" in printed
+        assert np.load(output).shape[0] == 6
+
+    def test_cluster_cli_matches_single_process_cli(self, bundle, tmp_path):
+        path, _ = bundle
+        single = tmp_path / "single.npy"
+        clustered = tmp_path / "clustered.npy"
+        assert serve_main([str(path), "--requests", "5", "--seed", "3",
+                           "--output", str(single)]) == 0
+        assert serve_main([str(path), "--workers", "2", "--requests", "5",
+                           "--seed", "3", "--output", str(clustered)]) == 0
+        assert np.allclose(np.load(single), np.load(clustered), atol=1e-9)
+
+    def test_invalid_workers_flag(self, bundle):
+        path, _ = bundle
+        with pytest.raises(SystemExit, match="--workers"):
+            serve_main([str(path), "--workers", "0"])
+        with pytest.raises(SystemExit, match="--no-freeze"):
+            serve_main([str(path), "--workers", "2", "--no-freeze"])
