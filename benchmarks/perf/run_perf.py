@@ -35,6 +35,14 @@ Times the three costs that dominate SAGDFN training at Table VI/VII scales
   (throughput over ``workers ×`` the 1-worker throughput).
   ``--assert-cluster-efficiency`` gates CI on the efficiency of every
   multi-worker entry; single-core hosts plateau near ``1/workers``.
+* ``online`` — stateful online serving (schema v7): replays a synthetic
+  stream through a :class:`~repro.serve.SessionManager` (push and forecast
+  throughput), then measures the drift hot-swap on the underlying
+  :class:`~repro.serve.ForecastService` — ``swap_latency_ms``, forecast p95
+  while a background thread swaps the kernel in a loop (every request must
+  complete), and the bitwise ``swap_parity`` of a hot-swapped service
+  against a cold start from the same index set.
+  ``--assert-swap-parity`` gates CI on that bitwise check.
 
 Results are written as JSON (default: ``BENCH_attention.json`` at the repo
 root) so subsequent PRs have a perf trajectory to compare against::
@@ -82,7 +90,7 @@ from repro.optim import Adam, clip_grad_norm
 from repro.serve import ForecastService
 from repro.tensor import Tensor, default_dtype, no_grad
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 DEFAULT_SIZES = (200, 2000)
 BACKEND_BENCH_NAMES = ("numpy", "numba")
 SCALING_SIZES = (500, 2000, 5000, 10000)
@@ -723,11 +731,180 @@ def bench_cluster(num_nodes, m, heads, embedding_dim, ffn_hidden, hidden,
     }
 
 
+def bench_online(num_nodes, m, heads, embedding_dim, ffn_hidden, hidden,
+                 repeats, steps: int = 96, dtype: str = "float32",
+                 history: int = 6, horizon: int = 6) -> dict:
+    """Stateful online serving: session throughput and hot-swap cost (schema v7).
+
+    Freezes one SAGDFN into a v3 bundle (scaler statistics + drift record),
+    replays a synthetic stream through a
+    :class:`~repro.serve.SessionManager` (``push_rows_per_s``, forecast
+    latency once the window has filled), then measures the cost and safety
+    of the drift hot-swap on the underlying
+    :class:`~repro.serve.ForecastService`:
+
+    * ``swap_latency_ms`` — best-of-``repeats`` wall time of
+      ``swap_index_set``, i.e. one re-run of the cold-load freeze path
+      (slim adjacency + kernel rebuild) behind the atomic state flip;
+    * ``forecast_during_swap_*`` — forecast p95 while a background thread
+      swaps the kernel in a loop; every request must complete
+      (``errors == 0``) because a forward only ever sees one complete
+      generation;
+    * ``swap_parity`` — the hot-swapped service's forecast compared
+      **bitwise** against a cold-started service built from the same bundle
+      with the same index set (the ``--assert-swap-parity`` CI gate).
+    """
+    import tempfile
+    import threading
+
+    from repro.data import StandardScaler
+    from repro.serve.online import DriftConfig, SessionManager
+    from repro.utils import save_bundle
+    from repro.utils.checkpoint import load_bundle, rehydrate_model, rehydrate_scaler
+
+    m_eff = min(m, num_nodes)
+    with default_dtype(dtype):
+        rng = np.random.default_rng(0)
+        config = SAGDFNConfig(
+            num_nodes=num_nodes, history=history, horizon=horizon,
+            embedding_dim=embedding_dim, num_significant=m_eff,
+            top_k=max(1, int(m_eff * 0.8)), hidden_size=hidden,
+            num_heads=heads, ffn_hidden=ffn_hidden, seed=0,
+        )
+        model = SAGDFN(config)
+        model.refresh_graph(0)
+        scaler = StandardScaler()
+        scaler.fit(rng.normal(loc=3.0, scale=2.0, size=(max(steps, 64), num_nodes)))
+        stream = np.abs(rng.normal(loc=3.0, scale=2.0, size=(steps, num_nodes))) + 1.0
+        cov_channels = int(config.input_dim) - 1  # exog-free default scenario
+        covariates = (rng.normal(size=(steps, num_nodes, cov_channels))
+                      if cov_channels else None)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            bundle_path = save_bundle(
+                model, Path(tmp) / "online_bundle", scaler=scaler,
+                # Record a drift config (v3 provenance) but push the check
+                # cadence out of range so the throughput numbers measure the
+                # steady-state push path, not the SNS re-run.
+                drift=DriftConfig(check_every=10**6),
+            )
+            manager = SessionManager.from_checkpoint(bundle_path)
+
+            begin = time.perf_counter()
+            for t in range(steps):
+                manager.push_observations(
+                    "bench", stream[t:t + 1],
+                    covariates=None if covariates is None
+                    else covariates[t:t + 1],
+                )
+            push_elapsed = time.perf_counter() - begin
+            push_rows_per_s = (steps / push_elapsed
+                               if push_elapsed > 0 else float("inf"))
+
+            samples = max(5, repeats)
+            manager.forecast("bench")  # warm-up (allocates the workspace)
+            latencies = []
+            for _ in range(samples):
+                start = time.perf_counter()
+                manager.forecast("bench")
+                latencies.append((time.perf_counter() - start) * 1000.0)
+            forecast_p50 = float(np.percentile(latencies, 50))
+            forecast_p95 = float(np.percentile(latencies, 95))
+
+            service = manager.target  # single-process ForecastService
+            frozen = np.asarray(service.frozen.index_set, dtype=np.int64)
+            swap_rng = np.random.default_rng(1)
+            fresh = np.sort(
+                swap_rng.choice(num_nodes, size=frozen.size, replace=False)
+            ).astype(np.int64)
+            sets = [fresh, np.sort(frozen)]
+
+            swap_times = []
+            for i in range(max(repeats, 2)):
+                start = time.perf_counter()
+                service.swap_index_set(sets[i % 2])
+                swap_times.append((time.perf_counter() - start) * 1000.0)
+            swap_latency_ms = float(min(swap_times))
+
+            window = rng.normal(
+                size=(1, history, num_nodes, config.input_dim)
+            )
+            stop = threading.Event()
+            swap_errors: list[str] = []
+
+            def swapper():
+                i = 0
+                while not stop.is_set():
+                    try:
+                        service.swap_index_set(sets[i % 2])
+                    except Exception as exc:  # diagnosed via the error count
+                        swap_errors.append(repr(exc))
+                        return
+                    i += 1
+
+            generation_before = service.generation
+            swap_thread = threading.Thread(target=swapper, daemon=True)
+            swap_thread.start()
+            during = []
+            predict_errors = 0
+            for _ in range(max(20, samples)):
+                start = time.perf_counter()
+                try:
+                    service.predict(window)
+                except Exception:
+                    predict_errors += 1
+                during.append((time.perf_counter() - start) * 1000.0)
+            stop.set()
+            swap_thread.join(timeout=60)
+            swaps_during = service.generation - generation_before
+            during_p95 = float(np.percentile(during, 95))
+
+            generation = service.swap_index_set(fresh)
+            hot = service.predict(window)
+            bundle = load_bundle(bundle_path)
+            cold_model = rehydrate_model(bundle)
+            cold_model._index_set = fresh.copy()
+            cold_service = ForecastService(
+                cold_model, scaler=rehydrate_scaler(bundle)
+            )
+            cold = cold_service.predict(window)
+            parity = bool(np.array_equal(hot, cold))
+
+    errors = int(predict_errors + len(swap_errors))
+    print(
+        f"online N={num_nodes:>6} M={m_eff:>3}: push {push_rows_per_s:.0f} rows/s, "
+        f"forecast p50 {forecast_p50:.2f} ms p95 {forecast_p95:.2f} ms, "
+        f"swap {swap_latency_ms:.1f} ms, during-swap p95 {during_p95:.2f} ms "
+        f"({swaps_during} swaps, {errors} errors), parity={parity}",
+        flush=True,
+    )
+    return {
+        "num_nodes": int(num_nodes),
+        "num_significant": int(m_eff),
+        "dtype": dtype,
+        "history": int(history),
+        "horizon": int(horizon),
+        "steps": int(steps),
+        "push_rows_per_s": push_rows_per_s,
+        "push_ms_per_step": push_elapsed * 1000.0 / steps,
+        "forecast_p50_ms": forecast_p50,
+        "forecast_p95_ms": forecast_p95,
+        "forecast_rps": 1000.0 / forecast_p50 if forecast_p50 > 0 else float("inf"),
+        "swap_latency_ms": swap_latency_ms,
+        "forecast_during_swap_p95_ms": during_p95,
+        "forecast_during_swap_requests": len(during),
+        "forecast_during_swap_errors": errors,
+        "swaps_during_forecast": int(swaps_during),
+        "swap_parity": parity,
+        "generation": int(generation),
+    }
+
+
 def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         train_step_max_n, scaling_sizes=SCALING_SIZES, scaling_budget_mb=64.0,
         scaling_embedding_dim=64, scaling_equivalence_max_n=10_000,
         recurrence_sizes=None, cluster_workers=CLUSTER_WORKERS,
-        cluster_requests=64) -> dict:
+        cluster_requests=64, online_steps=96) -> dict:
     results = []
     for num_nodes in sizes:
         m_eff = min(m, num_nodes)
@@ -804,6 +981,10 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
                             hidden, workers_list=cluster_workers,
                             requests=cluster_requests)
 
+    # Stateful online serving: session throughput + hot-swap cost/parity.
+    online = bench_online(serve_n, m, heads, embedding_dim, ffn_hidden,
+                          hidden, repeats, steps=online_steps)
+
     return {
         "benchmark": "attention",
         "schema_version": SCHEMA_VERSION,
@@ -822,6 +1003,7 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         "recurrence": recurrence,
         "backends": backends,
         "cluster": cluster,
+        "online": online,
         "results": results,
     }
 
@@ -911,11 +1093,31 @@ def validate_cluster(section: dict) -> None:
             raise ValueError(f"cluster entry has invalid workers: {entry}")
 
 
+def validate_online(section: dict) -> None:
+    """Raise ``ValueError`` if ``section`` is not a valid online section."""
+    if not isinstance(section, dict):
+        raise ValueError("online section must be a dict")
+    for key in ("num_nodes", "num_significant", "dtype", "steps",
+                "push_rows_per_s", "push_ms_per_step", "forecast_p50_ms",
+                "forecast_p95_ms", "forecast_rps", "swap_latency_ms",
+                "forecast_during_swap_p95_ms", "forecast_during_swap_requests",
+                "forecast_during_swap_errors", "swaps_during_forecast",
+                "swap_parity", "generation"):
+        if key not in section:
+            raise ValueError(f"online section missing key {key!r}")
+    if section["forecast_during_swap_errors"]:
+        raise ValueError(
+            f"{section['forecast_during_swap_errors']} request(s) errored "
+            "during the concurrent hot-swap; in-flight requests must always "
+            "complete"
+        )
+
+
 def validate_schema(report: dict) -> None:
     """Raise ``ValueError`` if ``report`` is not a valid benchmark report."""
     for key in ("benchmark", "schema_version", "config", "results",
                 "attention_speedup_vs_seed", "serve", "scaling", "recurrence",
-                "backends", "cluster"):
+                "backends", "cluster", "online"):
         if key not in report:
             raise ValueError(f"missing top-level key {key!r}")
     if not isinstance(report["results"], list) or not report["results"]:
@@ -938,6 +1140,7 @@ def validate_schema(report: dict) -> None:
     validate_recurrence(report["recurrence"])
     validate_backends(report["backends"])
     validate_cluster(report["cluster"])
+    validate_online(report["online"])
 
 
 def main(argv=None) -> dict:
@@ -1002,6 +1205,16 @@ def main(argv=None) -> dict:
                         help="exit non-zero if the scaling efficiency of any "
                              "multi-worker cluster entry is below this fraction "
                              "(meaningful on multi-core hosts only)")
+    parser.add_argument("--online-steps", type=int, default=96,
+                        help="stream length replayed through the online "
+                             "session bench (default: 96)")
+    parser.add_argument("--online-only", action="store_true",
+                        help="run (and write) only the online serving section")
+    parser.add_argument("--assert-swap-parity", action="store_true",
+                        help="exit non-zero unless the hot-swapped service's "
+                             "forecast is bit-identical to a cold start from "
+                             "the same index set (and no request errored "
+                             "during the concurrent swap)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: smallest N only, single repeat")
     parser.add_argument("--output", type=Path, default=None,
@@ -1019,11 +1232,14 @@ def main(argv=None) -> dict:
         parser.error("--m and --repeats must be >= 1")
     if any(w < 1 for w in args.cluster_workers) or args.cluster_requests < 1:
         parser.error("--cluster-workers/--cluster-requests must be >= 1")
+    if args.online_steps < 8:
+        parser.error("--online-steps must be >= 8 (the window must fill)")
     only_flags = {
         "--scaling-only": args.scaling_only,
         "--recurrence-only": args.recurrence_only,
         "--backend-only": args.backend_only,
         "--cluster-only": args.cluster_only,
+        "--online-only": args.online_only,
     }
     if sum(only_flags.values()) > 1:
         parser.error(" and ".join(only_flags) + " are mutually exclusive")
@@ -1037,6 +1253,8 @@ def main(argv=None) -> dict:
         ("--assert-backend-speedup", args.assert_backend_speedup, "--backend-only"),
         ("--assert-cluster-efficiency", args.assert_cluster_efficiency,
          "--cluster-only"),
+        ("--assert-swap-parity", args.assert_swap_parity or None,
+         "--online-only"),
     ):
         other_only = any(flag for name, flag in only_flags.items()
                          if name != section_flag)
@@ -1051,6 +1269,7 @@ def main(argv=None) -> dict:
             args.recurrence_sizes = [min(args.recurrence_sizes)]
         args.cluster_workers = sorted(set(args.cluster_workers))[:2]
         args.cluster_requests = min(args.cluster_requests, 16)
+        args.online_steps = min(args.online_steps, 32)
         args.repeats = 1
 
     if args.output is None:
@@ -1062,6 +1281,8 @@ def main(argv=None) -> dict:
             default_name = "BENCH_backends.json"
         elif args.cluster_only:
             default_name = "BENCH_cluster.json"
+        elif args.online_only:
+            default_name = "BENCH_online.json"
         else:
             default_name = "BENCH_attention.json"
         args.output = REPO_ROOT / default_name
@@ -1115,6 +1336,17 @@ def main(argv=None) -> dict:
                 "schema_version": SCHEMA_VERSION,
                 "cluster": cluster,
             }
+        elif args.online_only:
+            online = bench_online(
+                min(args.sizes), args.m, args.heads, args.embedding_dim,
+                args.ffn_hidden, args.hidden, args.repeats,
+                steps=args.online_steps,
+            )
+            report = {
+                "benchmark": "attention-online",
+                "schema_version": SCHEMA_VERSION,
+                "online": online,
+            }
         else:
             report = run(args.sizes, args.m, args.heads, args.embedding_dim,
                          args.ffn_hidden, args.hidden, args.repeats,
@@ -1125,7 +1357,8 @@ def main(argv=None) -> dict:
                          scaling_equivalence_max_n=args.scaling_equivalence_max_n,
                          recurrence_sizes=args.recurrence_sizes,
                          cluster_workers=args.cluster_workers,
-                         cluster_requests=args.cluster_requests)
+                         cluster_requests=args.cluster_requests,
+                         online_steps=args.online_steps)
             report["config"]["backend"] = resolve_backend_name(args.backend)
     finally:
         if args.backend is not None:
@@ -1148,6 +1381,8 @@ def main(argv=None) -> dict:
         validate_backends(report["backends"])
     elif args.cluster_only:
         validate_cluster(report["cluster"])
+    elif args.online_only:
+        validate_online(report["online"])
     else:
         validate_schema(report)
 
@@ -1217,6 +1452,19 @@ def main(argv=None) -> dict:
             "cluster efficiency assertion "
             f"(>= {args.assert_cluster_efficiency}) ok"
         )
+    if args.assert_swap_parity:
+        section = report["online"]
+        if not section["swap_parity"]:
+            raise SystemExit(
+                "hot-swapped forecasts are not bit-identical to a cold start "
+                "from the same index set"
+            )
+        if section["forecast_during_swap_errors"]:
+            raise SystemExit(
+                f"{section['forecast_during_swap_errors']} request(s) errored "
+                "during the concurrent hot-swap"
+            )
+        print("swap parity assertion (hot == cold start, bitwise) ok")
     return report
 
 

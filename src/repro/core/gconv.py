@@ -61,9 +61,10 @@ def _resolve_plan(
         return plan
     if node_chunk_size is not None:
         warnings.warn(
-            f"{owner}(node_chunk_size=...) is deprecated; set "
-            "SAGDFNConfig.chunk_size or pass plan=backend.make_plan("
-            "node_chunk_size=...) instead",
+            f"{owner}(node_chunk_size=...) is deprecated; the knob now lives "
+            "on the ExecutionPlan — set SAGDFNConfig.chunk_size or pass "
+            "plan=backend.make_plan(node_chunk_size=...) instead; see "
+            "README.md#execution-backends",
             DeprecationWarning,
             stacklevel=3,
         )

@@ -221,3 +221,19 @@ class SignificantNeighborsSampling:
         index_set = self._rng.choice(self.num_nodes, size=self.num_significant, replace=False)
         self._last_index_set = index_set
         return index_set
+
+
+def index_set_overlap(frozen: np.ndarray, fresh: np.ndarray) -> float:
+    """Fraction of the frozen index set also present in the fresh one.
+
+    The drift metric of the online serving layer: ``1.0`` means the
+    re-sampled significant-neighbour set matches the frozen graph exactly,
+    ``0.0`` means complete turnover.  Membership, not order — the slim
+    adjacency is invariant to a permutation of ``I``, so only set identity
+    matters.  Two empty sets count as fully overlapping.
+    """
+    frozen = np.unique(np.asarray(frozen, dtype=np.int64))
+    fresh = np.unique(np.asarray(fresh, dtype=np.int64))
+    if frozen.size == 0:
+        return 1.0
+    return float(np.intersect1d(frozen, fresh, assume_unique=True).size / frozen.size)

@@ -24,6 +24,29 @@ class StandardScaler:
     def __init__(self) -> None:
         self.mean_: float | None = None
         self.std_: float | None = None
+        # Streaming provenance: how many observations the statistics summarise
+        # and their raw (unfloored) sum of squared deviations.  ``count_`` is
+        # ``None`` for statistics of unknown provenance (a pre-v3 bundle), in
+        # which case ``partial_fit`` refuses to continue the accumulation.
+        self.count_: int | None = 0
+        self._m2: float = 0.0
+
+    @staticmethod
+    def _observed(values: np.ndarray, sample_mask: np.ndarray | None) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if sample_mask is not None:
+            sample_mask = np.asarray(sample_mask)
+            if sample_mask.shape != values.shape:
+                raise ValueError(
+                    f"sample_mask shape {sample_mask.shape} must match values {values.shape}"
+                )
+            values = values[sample_mask != 0]
+        return values
+
+    def _refresh_moments(self) -> None:
+        self.mean_ = float(self.mean_)
+        std = float(np.sqrt(self._m2 / self.count_)) if self.count_ else 0.0
+        self.std_ = std if std > 1e-12 else 1.0
 
     def fit(self, values: np.ndarray, sample_mask: np.ndarray | None = None) -> "StandardScaler":
         """Fit on ``values``, optionally restricted to observed entries.
@@ -33,20 +56,49 @@ class StandardScaler:
         series is normalised by the moments of what was actually measured.
         An all-missing mask falls back to ``mean 0 / std 1``.
         """
-        values = np.asarray(values, dtype=np.float64)
-        if sample_mask is not None:
-            sample_mask = np.asarray(sample_mask)
-            if sample_mask.shape != values.shape:
-                raise ValueError(
-                    f"sample_mask shape {sample_mask.shape} must match values {values.shape}"
-                )
-            values = values[sample_mask != 0]
-            if values.size == 0:
-                self.mean_, self.std_ = 0.0, 1.0
-                return self
+        values = self._observed(values, sample_mask)
+        if values.size == 0:
+            self.mean_, self.std_ = 0.0, 1.0
+            self.count_, self._m2 = 0, 0.0
+            return self
         self.mean_ = float(values.mean())
-        std = float(values.std())
-        self.std_ = std if std > 1e-12 else 1.0
+        self.count_ = int(values.size)
+        self._m2 = float(np.square(values - self.mean_).sum())
+        self._refresh_moments()
+        return self
+
+    def partial_fit(
+        self, values: np.ndarray, sample_mask: np.ndarray | None = None
+    ) -> "StandardScaler":
+        """Fold a new batch into the running statistics (Welford/Chan update).
+
+        Accumulates mean and variance in float64 via Chan's parallel-variance
+        merge, so chunked ``partial_fit`` over a dataset reproduces a single
+        ``fit`` to ~1e-15 relative.  ``sample_mask`` works as in :meth:`fit`;
+        an all-missing batch is a no-op.  Statistics rehydrated from a pre-v3
+        bundle carry no sample count, so they cannot be extended — that raises
+        ``RuntimeError`` rather than silently mis-weighting the update.
+        """
+        if self.count_ is None:
+            raise RuntimeError(
+                "scaler statistics lack sample-count provenance (pre-v3 bundle); "
+                "re-save the bundle to enable partial_fit"
+            )
+        values = self._observed(values, sample_mask)
+        if values.size == 0:
+            return self
+        batch_count = int(values.size)
+        batch_mean = float(values.mean())
+        batch_m2 = float(np.square(values - batch_mean).sum())
+        if self.count_ == 0:
+            self.mean_, self.count_, self._m2 = batch_mean, batch_count, batch_m2
+        else:
+            total = self.count_ + batch_count
+            delta = batch_mean - self.mean_
+            self.mean_ = self.mean_ + delta * batch_count / total
+            self._m2 += batch_m2 + delta * delta * self.count_ * batch_count / total
+            self.count_ = total
+        self._refresh_moments()
         return self
 
     def _check(self) -> None:

@@ -146,6 +146,62 @@ class StreamingMetrics:
         self.num_batches += 1
         self.num_samples += prediction.shape[0]
 
+    def merge(self, other: "StreamingMetrics") -> "StreamingMetrics":
+        """Fold another accumulator's sums into this one, in place.
+
+        The per-step sums are associative, so metrics accumulated
+        independently (one :class:`StreamingMetrics` per online session, per
+        worker, per shard) merge into exactly what a single accumulator over
+        the union of batches would hold.  Both sides must share the masking
+        convention and quantile levels; an empty ``other`` is a no-op and
+        merging into an empty ``self`` adopts ``other``'s sums.
+        """
+        if not isinstance(other, StreamingMetrics):
+            raise TypeError(f"cannot merge {type(other).__name__} into StreamingMetrics")
+        same_null = (
+            self.null_value is other.null_value
+            or (
+                self.null_value is not None
+                and other.null_value is not None
+                and (
+                    (np.isnan(self.null_value) and np.isnan(other.null_value))
+                    or self.null_value == other.null_value
+                )
+            )
+        )
+        if not same_null or self.quantiles != other.quantiles:
+            raise ValueError(
+                "cannot merge StreamingMetrics with different masking or quantiles"
+            )
+        if other._count is None:
+            return self
+        if self._count is None:
+            self._abs_sum = other._abs_sum.copy()
+            self._sq_sum = other._sq_sum.copy()
+            self._ape_sum = other._ape_sum.copy()
+            self._count = other._count.copy()
+            if self.quantiles is not None:
+                self._coverage_sum = other._coverage_sum.copy()
+                self._pinball_sum = other._pinball_sum.copy()
+                self._width_sum = other._width_sum.copy()
+        else:
+            if self._count.shape != other._count.shape:
+                raise ValueError(
+                    f"forecast lengths differ: {self._count.shape[0]} vs "
+                    f"{other._count.shape[0]}"
+                )
+            self._abs_sum += other._abs_sum
+            self._sq_sum += other._sq_sum
+            self._ape_sum += other._ape_sum
+            self._count += other._count
+            if self.quantiles is not None:
+                self._coverage_sum += other._coverage_sum
+                self._pinball_sum += other._pinball_sum
+                self._width_sum += other._width_sum
+        self.num_batches += other.num_batches
+        self.num_samples += other.num_samples
+        return self
+
     # ------------------------------------------------------------------ #
     # Results
     # ------------------------------------------------------------------ #

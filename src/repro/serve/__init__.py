@@ -16,12 +16,26 @@ package exploits that:
 * :class:`ServingCluster` replicates the frozen kernel across worker
   processes (shared-memory request rings, per-worker micro-batching, an
   asyncio front door) for multi-core throughput on one host.
+* :mod:`repro.serve.online` adds the stateful half: per-client
+  :class:`StreamingSession` history rings behind a :class:`SessionManager`,
+  incremental scaler updates, and a :class:`DriftMonitor` that re-runs SNS
+  over recent history and hot-swaps the frozen kernel
+  (``swap_index_set`` on either target) when the index-set overlap drops
+  below threshold.
 * ``python -m repro.serve`` is the command-line entry point
-  (``--workers N`` routes through the cluster).
+  (``--workers N`` routes through the cluster, ``--online`` replays a
+  stream through sessions).
 """
 
 from repro.serve.batching import BatchStats, MicroBatcher
 from repro.serve.cluster import ClusterError, ServingCluster, WorkerDiedError
+from repro.serve.online import (
+    DriftConfig,
+    DriftMonitor,
+    DriftReport,
+    SessionManager,
+    StreamingSession,
+)
 from repro.serve.service import ForecastService, FrozenGraph
 
 __all__ = [
@@ -32,4 +46,9 @@ __all__ = [
     "ServingCluster",
     "ClusterError",
     "WorkerDiedError",
+    "DriftConfig",
+    "DriftMonitor",
+    "DriftReport",
+    "SessionManager",
+    "StreamingSession",
 ]

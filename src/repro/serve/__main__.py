@@ -12,6 +12,11 @@ micro-batching queue and reports latency/throughput, e.g.::
 
     # multi-worker cluster: replicate the frozen kernel across processes
     python -m repro.serve checkpoints/sagdfn_bundle.npz --workers 4 --requests 256
+
+    # stateful online serving: replay a stream through sessions, with
+    # drift-triggered hot-swap of the frozen graph
+    python -m repro.serve checkpoints/sagdfn_bundle.npz --online --steps 256 \\
+        --drift-threshold 0.5
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -61,17 +67,84 @@ def build_parser() -> argparse.ArgumentParser:
                              "REPRO_BACKEND, then numpy")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed of the synthetic request generator")
+
+    online = parser.add_argument_group(
+        "online serving", "stateful sessions with drift-triggered hot-swap"
+    )
+    online.add_argument("--online", action="store_true",
+                        help="replay an observation stream through streaming "
+                             "sessions instead of serving one-shot windows")
+    online.add_argument("--stream", type=Path, default=None,
+                        help=".npy observation stream in original units: (T, N) "
+                             "target-only, (T, N, C) with covariate channels, or "
+                             "(T, N, C+1) with a trailing observation mask for "
+                             "mask-aware bundles; synthetic (with a mid-stream "
+                             "regime change) when omitted")
+    online.add_argument("--steps", type=int, default=128,
+                        help="length of the synthetic stream when --stream is omitted")
+    online.add_argument("--sessions", type=int, default=1,
+                        help="number of client sessions the stream is replayed into")
+    online.add_argument("--forecast-every", type=int, default=4,
+                        help="forecast from each filled session every this many steps")
+    online.add_argument("--drift-threshold", type=float, default=None,
+                        help="swap when the re-sampled index-set overlap drops below "
+                             "this; overrides the bundle's recorded drift config "
+                             "(no monitoring when neither is present)")
+    online.add_argument("--drift-check-every", type=int, default=None,
+                        help="timesteps between drift checks (default: bundle drift "
+                             "config, else 32)")
+    online.add_argument("--drift-min-history", type=int, default=None,
+                        help="pooled timesteps required before the first drift check")
+    online.add_argument("--update-scaler", action="store_true",
+                        help="partial_fit the bundle scaler from the live feed "
+                             "(requires v3 scaler statistics)")
     return parser
+
+
+def _load_bundle_or_exit(path: Path):
+    """Load a serving bundle, mapping every failure to a one-line exit."""
+    from repro.utils.checkpoint import load_bundle
+
+    try:
+        return load_bundle(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: checkpoint bundle not found: {path}")
+    except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError) as error:
+        detail = str(error).splitlines()[0] if str(error) else type(error).__name__
+        raise SystemExit(f"error: cannot load checkpoint bundle {path}: {detail}")
+
+
+def _expected_width(config: dict) -> int | None:
+    """Request channel width the bundle's scenario implies (None without config)."""
+    if not config or "input_dim" not in config:
+        return None
+    return (
+        int(config["input_dim"])
+        + int(config.get("exog_dim", 0) or 0)
+        + int(bool(config.get("mask_input", False)))
+    )
 
 
 def _load_windows(args, config: dict) -> np.ndarray:
     if args.input is not None:
-        windows = np.load(args.input)
+        try:
+            windows = np.load(args.input)
+        except FileNotFoundError:
+            raise SystemExit(f"error: --input file not found: {args.input}")
+        except (zipfile.BadZipFile, ValueError, OSError) as error:
+            detail = str(error).splitlines()[0] if str(error) else type(error).__name__
+            raise SystemExit(f"error: cannot load --input {args.input}: {detail}")
         if windows.ndim == 3:
             windows = windows[None]
         if windows.ndim != 4:
             raise SystemExit(
                 f"--input must hold (R, h, N, C) or (h, N, C) windows, got {windows.shape}"
+            )
+        width = _expected_width(config)
+        if width is not None and windows.shape[-1] != width:
+            raise SystemExit(
+                f"error: --input windows carry {windows.shape[-1]} channels but the "
+                f"bundle scenario expects {width} (input_dim + exog_dim + mask)"
             )
         return windows
     if not config:
@@ -79,11 +152,7 @@ def _load_windows(args, config: dict) -> np.ndarray:
     # Scenario-aware request width: endogenous channels, declared exogenous
     # covariates, plus the observation-mask channel of mask-aware models
     # (pre-scenario bundle configs lack the fields → point/dense width).
-    width = (
-        int(config["input_dim"])
-        + int(config.get("exog_dim", 0) or 0)
-        + int(bool(config.get("mask_input", False)))
-    )
+    width = _expected_width(config)
     shape = (args.requests, config["history"], config["num_nodes"], width)
     windows = np.random.default_rng(args.seed).normal(size=shape)
     if config.get("mask_input", False):
@@ -106,11 +175,10 @@ def _report(windows: np.ndarray, predictions: np.ndarray, elapsed: float,
 
 def _serve_cluster(args) -> int:
     from repro.serve.cluster import ServingCluster
-    from repro.utils.checkpoint import load_bundle
 
     if args.no_freeze:
         raise SystemExit("--no-freeze is a single-process debugging flag; drop --workers")
-    windows = _load_windows(args, load_bundle(args.checkpoint).config)
+    windows = _load_windows(args, _load_bundle_or_exit(args.checkpoint).config)
     load_start = time.perf_counter()
     with ServingCluster(
         args.checkpoint,
@@ -135,6 +203,154 @@ def _serve_cluster(args) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# Online (stateful) serving
+# --------------------------------------------------------------------- #
+def _synthetic_stream(config: dict, steps: int, seed: int) -> np.ndarray:
+    """A (T, N, width) original-units stream with a mid-stream regime change.
+
+    The first half follows one set of node phase offsets, the second half a
+    shuffled set — node correlation structure changes, which is exactly the
+    drift the monitor's re-sampling should notice.
+    """
+    rng = np.random.default_rng(seed)
+    num_nodes = int(config["num_nodes"])
+    width = int(config["input_dim"]) + int(config.get("exog_dim", 0) or 0)
+    t = np.arange(steps)[:, None]
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=num_nodes)
+    values = 50.0 + 10.0 * np.sin(0.3 * t + phases) + rng.normal(0.0, 1.0, (steps, num_nodes))
+    half = steps // 2
+    shuffled = rng.permutation(phases)
+    values[half:] = (
+        50.0
+        + 10.0 * np.sin(0.3 * t[half:] + shuffled)
+        + rng.normal(0.0, 1.0, (steps - half, num_nodes))
+    )
+    stream = np.zeros((steps, num_nodes, width))
+    stream[..., 0] = values
+    if width > 1:
+        stream[..., 1:] = rng.random((steps, num_nodes, width - 1))
+    return stream
+
+
+def _load_stream(args, config: dict) -> tuple[np.ndarray, np.ndarray | None]:
+    """Returns ``(stream (T, N, width), mask (T, N) | None)`` in original units."""
+    width = int(config["input_dim"]) + int(config.get("exog_dim", 0) or 0)
+    mask_input = bool(config.get("mask_input", False))
+    if args.stream is None:
+        return _synthetic_stream(config, args.steps, args.seed), None
+    try:
+        raw = np.load(args.stream)
+    except FileNotFoundError:
+        raise SystemExit(f"error: --stream file not found: {args.stream}")
+    except (zipfile.BadZipFile, ValueError, OSError) as error:
+        detail = str(error).splitlines()[0] if str(error) else type(error).__name__
+        raise SystemExit(f"error: cannot load --stream {args.stream}: {detail}")
+    if raw.ndim == 2:
+        raw = raw[..., None]
+    if raw.ndim != 3 or raw.shape[1] != int(config["num_nodes"]):
+        raise SystemExit(
+            f"error: --stream must be (T, {config['num_nodes']}) or "
+            f"(T, {config['num_nodes']}, C), got {raw.shape}"
+        )
+    mask = None
+    if raw.shape[-1] == width + 1 and mask_input:
+        mask = raw[..., -1]
+        raw = raw[..., :-1]
+    if raw.shape[-1] != width:
+        raise SystemExit(
+            f"error: --stream carries {raw.shape[-1]} channels but the bundle "
+            f"scenario expects {width} (input_dim + exog_dim"
+            + (" [+ trailing mask])" if mask_input else ")")
+        )
+    return raw, mask
+
+
+def _serve_online(args) -> int:
+    from repro.serve.online import DriftConfig, SessionManager
+
+    if args.no_freeze:
+        raise SystemExit("--online serves the frozen graph; drop --no-freeze")
+    if args.sessions < 1:
+        raise SystemExit("--sessions must be >= 1")
+    if args.forecast_every < 1:
+        raise SystemExit("--forecast-every must be >= 1")
+    bundle = _load_bundle_or_exit(args.checkpoint)
+    if not bundle.config:
+        raise SystemExit("bundle has no model config; --online cannot size sessions")
+    stream, mask = _load_stream(args, bundle.config)
+
+    drift_record = dict(bundle.drift) if bundle.drift else {}
+    if args.drift_threshold is not None:
+        drift_record["overlap_threshold"] = args.drift_threshold
+    if args.drift_check_every is not None:
+        drift_record["check_every"] = args.drift_check_every
+    if args.drift_min_history is not None:
+        drift_record["min_history"] = args.drift_min_history
+    drift = DriftConfig(**drift_record) if drift_record else None
+
+    load_start = time.perf_counter()
+    try:
+        manager = SessionManager.from_checkpoint(
+            args.checkpoint,
+            workers=0 if args.workers == 1 else args.workers,
+            drift=drift,
+            update_scaler=args.update_scaler,
+            **(
+                {"max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
+                 "backend": args.backend}
+                if args.workers > 1
+                else {"chunk_size": args.chunk_size,
+                      "memory_budget_mb": args.memory_budget_mb,
+                      "backend": args.backend}
+            ),
+        )
+    except (RuntimeError, ValueError) as error:
+        raise SystemExit(f"error: cannot start online serving: {error}")
+    load_ms = (time.perf_counter() - load_start) * 1000.0
+    mode = f"{args.workers}-worker cluster" if args.workers > 1 else "single process"
+    print(f"online serving on {args.checkpoint} ({mode}), loaded in {load_ms:.1f} ms")
+
+    clients = [f"session-{i}" for i in range(args.sessions)]
+    width = manager.width
+    forecasts: list[np.ndarray] = []
+    checks = swaps = 0
+    serve_start = time.perf_counter()
+    try:
+        for step in range(stream.shape[0]):
+            values = stream[step, :, 0][None]
+            covariates = stream[step, :, 1:][None] if width > 1 else None
+            step_mask = None if mask is None else mask[step][None]
+            for client in clients:
+                report = manager.push_observations(
+                    client, values, covariates=covariates, mask=step_mask
+                )
+                if report is not None and report.checked:
+                    checks += 1
+                    swaps += int(report.swapped)
+            session = manager.session(clients[0])
+            if session.ready and (step + 1) % args.forecast_every == 0:
+                forecasts.append(manager.forecast(clients[0]))
+    finally:
+        if hasattr(manager.target, "close"):
+            manager.target.close()
+    elapsed = time.perf_counter() - serve_start
+
+    metrics = manager.metrics()
+    mae = metrics.get("mae")
+    print(
+        f"replayed {stream.shape[0]} steps into {len(clients)} session(s) in "
+        f"{elapsed * 1000.0:.1f} ms: {len(forecasts)} forecasts, "
+        f"{checks} drift check(s), {swaps} swap(s), generation {manager.generation}"
+        + (f", live mae {mae:.3f}" if mae is not None and np.isfinite(mae) else "")
+    )
+    if args.output is not None and forecasts:
+        predictions = np.stack(forecasts)
+        np.save(args.output, predictions)
+        print(f"wrote predictions {predictions.shape} to {args.output}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     # --requests only sizes the *synthetic* workload; with --input the
@@ -143,10 +359,13 @@ def main(argv=None) -> int:
         raise SystemExit("--requests must be >= 1")
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    if args.online:
+        return _serve_online(args)
     if args.workers > 1:
         return _serve_cluster(args)
 
     load_start = time.perf_counter()
+    _load_bundle_or_exit(args.checkpoint)  # one-line exit on missing/corrupt paths
     service = ForecastService.from_checkpoint(
         args.checkpoint,
         freeze_graph=not args.no_freeze,

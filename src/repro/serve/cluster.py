@@ -178,6 +178,25 @@ def _worker_main(
             if kind == "ping":
                 conn.send(("hb", time.monotonic()))
                 continue
+            if kind == "swap":
+                # Drift hot-swap.  The message loop is serial, so any batch
+                # dispatched before this message has already completed on
+                # the old generation — the old kernel drains, it is never
+                # interrupted.  Control-plane pickling of the index set is
+                # fine: swaps are rare and tiny compared to request batches.
+                _, seq, index_set = message
+                try:
+                    generation = service.swap_index_set(
+                        np.asarray(index_set, dtype=np.int64)
+                    )
+                    reply = ("swapped", seq, int(generation))
+                except Exception:
+                    reply = ("err", seq, traceback.format_exc(limit=8))
+                try:
+                    conn.send(reply)
+                except (BrokenPipeError, OSError):
+                    break
+                continue
             _, seq, slot, batch = message
             try:
                 predictions = service.predict(requests[slot, :batch])
@@ -212,6 +231,10 @@ class _WorkerChannel:
         self._seq = 0
         self._dispatch_lock = threading.Lock()
         self.batcher: MicroBatcher | None = None  # wired by the cluster
+        # Optional instrumentation: called as trace("dispatch"|"complete",
+        # seq, slot, batch) around every ring round-trip.  Tests use it to
+        # assert the no-slot-reuse-while-unread invariant under wraparound.
+        self.trace = None
 
         window_bytes = int(np.prod(window_shape)) * dtype.itemsize
         prediction_bytes = int(np.prod(prediction_shape)) * dtype.itemsize
@@ -311,6 +334,8 @@ class _WorkerChannel:
             self._seq += 1
             seq = self._seq
             slot = seq % self.slots
+            if self.trace is not None:
+                self.trace("dispatch", seq, slot, batch)
             self.request_view[slot, :batch] = windows  # dtype cast included
             try:
                 self.conn.send(("job", seq, slot, batch))
@@ -346,9 +371,12 @@ class _WorkerChannel:
                         _, r_seq, r_slot, r_batch = message
                         if r_seq != seq:
                             continue  # stale answer from a superseded dispatch
-                        return np.array(
+                        result = np.array(
                             self.response_view[r_slot, :r_batch], copy=True
                         )
+                        if self.trace is not None:
+                            self.trace("complete", seq, slot, batch)
+                        return result
                     if kind == "err":
                         _, r_seq, detail = message
                         if r_seq != seq:
@@ -366,6 +394,73 @@ class _WorkerChannel:
                     self._mark_dead()
                     raise WorkerDiedError(
                         f"worker {self.worker_id} died mid-batch "
+                        f"(exitcode {self.process.exitcode})"
+                    )
+
+    def swap(self, index_set: np.ndarray) -> int:
+        """Hot-swap this worker's frozen graph; returns its new generation.
+
+        Serialised against :meth:`predict` by the dispatch lock, so the
+        swap message is only sent between batch round-trips — the worker
+        never sees it with one of *our* batches outstanding, and batches
+        dispatched by the micro-batcher before the swap complete on the old
+        generation (the worker processes its control pipe serially).
+        """
+        with self._dispatch_lock:
+            if not self.alive:
+                raise WorkerDiedError(f"worker {self.worker_id} is not alive")
+            self._seq += 1
+            seq = self._seq
+            try:
+                self.conn.send(("swap", seq, np.asarray(index_set, dtype=np.int64)))
+            except (BrokenPipeError, OSError) as error:
+                self._mark_dead()
+                raise WorkerDiedError(
+                    f"worker {self.worker_id} control pipe is closed"
+                ) from error
+            deadline = time.monotonic() + self.request_timeout_s
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._mark_dead()
+                    raise WorkerDiedError(
+                        f"worker {self.worker_id} did not acknowledge the "
+                        f"swap within {self.request_timeout_s:.0f} s"
+                    )
+                if self.conn.poll(min(0.1, remaining)):
+                    try:
+                        message = self.conn.recv()
+                    except (EOFError, OSError) as error:
+                        self._mark_dead()
+                        raise WorkerDiedError(
+                            f"worker {self.worker_id} died mid-swap "
+                            "(control pipe EOF)"
+                        ) from error
+                    kind = message[0]
+                    if kind == "hb":
+                        self.last_heartbeat = message[1]
+                        continue
+                    if kind == "swapped":
+                        _, r_seq, generation = message
+                        if r_seq != seq:
+                            continue
+                        return int(generation)
+                    if kind == "err":
+                        _, r_seq, detail = message
+                        if r_seq != seq:
+                            continue
+                        raise RuntimeError(
+                            f"worker {self.worker_id} swap failed:\n{detail}"
+                        )
+                    if kind == "fatal":
+                        self._mark_dead()
+                        raise WorkerDiedError(
+                            f"worker {self.worker_id} aborted:\n{message[1]}"
+                        )
+                elif not self.process.is_alive():
+                    self._mark_dead()
+                    raise WorkerDiedError(
+                        f"worker {self.worker_id} died mid-swap "
                         f"(exitcode {self.process.exitcode})"
                     )
 
@@ -475,6 +570,13 @@ class ServingCluster:
         self.mask_input = bool(bundle.config.get("mask_input", False))
         self.expected_channels = int(window_shape[-1])
         self.max_batch = max_batch
+        self.index_set = (
+            None
+            if bundle.index_set is None
+            else np.asarray(bundle.index_set, dtype=np.int64)
+        )
+        self._generation = 0
+        self._swap_lock = threading.Lock()
 
         service_kwargs = {
             "backend": backend,
@@ -594,6 +696,47 @@ class ServingCluster:
             *(asyncio.wrap_future(future) for future in futures)
         )
         return np.stack(results)
+
+    # ------------------------------------------------------------------ #
+    # Drift hot-swap
+    # ------------------------------------------------------------------ #
+    def swap_index_set(self, index_set: np.ndarray) -> int:
+        """Broadcast a frozen-graph hot-swap to every live worker.
+
+        Implements the same protocol as
+        :meth:`ForecastService.swap_index_set`, so a
+        :class:`~repro.serve.online.DriftMonitor` drives both targets
+        identically.  Workers process their control pipe serially, so every
+        batch dispatched before the broadcast completes on the old
+        generation; batches submitted after it serve from the new one.  A
+        worker that dies mid-swap is marked dead (its batches re-dispatch
+        as usual) — the swap succeeds as long as one worker remains, and
+        raises :class:`ClusterError` otherwise.  Returns the cluster's new
+        generation.
+        """
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("cannot swap a closed ServingCluster")
+        index_set = np.asarray(index_set, dtype=np.int64).ravel()
+        with self._swap_lock:
+            generations = []
+            for channel in self._channels:
+                if not channel.alive:
+                    continue
+                try:
+                    generations.append(channel.swap(index_set))
+                except WorkerDiedError:
+                    continue
+            if not generations:
+                raise ClusterError("no live worker survived the swap broadcast")
+            self._generation = max(generations)
+            self.index_set = index_set.copy()
+            return self._generation
+
+    @property
+    def generation(self) -> int:
+        """Serving-graph generation of the newest completed swap."""
+        return self._generation
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -52,6 +52,24 @@ class FrozenGraph:
         )
 
 
+@dataclass
+class _ServingState:
+    """One generation of frozen serving artefacts, swapped as a unit.
+
+    Everything :meth:`ForecastService._forward` needs lives in this holder
+    so a drift-triggered hot swap is a single attribute store (atomic under
+    the GIL): in-flight requests that already read the holder finish on the
+    old kernel — drained, never interrupted — while new requests pick up the
+    fresh generation.
+    """
+
+    frozen: FrozenGraph | None = None
+    adjacency: Tensor | None = None
+    degree_scale: Tensor | None = None
+    kernel: object | None = None
+    generation: int = 0
+
+
 class ForecastService:
     """Serve forecast requests from a trained model at high throughput.
 
@@ -131,7 +149,9 @@ class ForecastService:
             warnings.warn(
                 "ForecastService(use_kernel=...) is deprecated; the switch "
                 "now lives on the model's ExecutionPlan — set "
-                "model.plan.use_kernel instead",
+                "ExecutionPlan.use_kernel (model.plan.use_kernel, or "
+                "backend.make_plan(use_kernel=...)) instead; see "
+                "README.md#execution-backends",
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -152,10 +172,8 @@ class ForecastService:
         parameters = model.parameters()
         self._dtype = parameters[0].dtype if parameters else np.dtype(np.float64)
 
-        self.frozen: FrozenGraph | None = None
-        self._adjacency_tensor: Tensor | None = None
-        self._degree_scale_tensor: Tensor | None = None
-        self._kernel = None
+        self._pinned_batches: set[int] = set()
+        state = _ServingState()
         if freeze_graph and self._supports_frozen_graph(model):
             if getattr(model, "index_set", None) is None and hasattr(model, "refresh_graph"):
                 # No converged index set came with the model/bundle.  Sample
@@ -172,23 +190,104 @@ class ForecastService:
                     getattr(model, "config", None), "convergence_iteration", 0
                 )
                 model.refresh_graph(iteration=convergence)
-            self.frozen = FrozenGraph.from_model(model)
-            self._adjacency_tensor = Tensor(self.frozen.adjacency, dtype=self._dtype)
-            self._degree_scale_tensor = Tensor(self.frozen.degree_scale, dtype=self._dtype)
-            if self.plan.use_kernel and hasattr(model.forecaster, "encoder_cells"):
-                from repro.core.serving_kernel import FrozenRecurrenceKernel
-
-                self._kernel = FrozenRecurrenceKernel(
-                    model.forecaster,
-                    self.frozen.adjacency,
-                    self.frozen.index_set,
-                    self.frozen.degree_scale,
-                    backend=self.backend,
-                )
+            state = self._freeze_state(generation=0)
+        self._state = state
         self.num_requests = 0
         # predict() runs concurrently under the multi-threaded/async front
         # door; the read-modify-write counter increment must not race.
         self._counter_lock = threading.Lock()
+        # Serialises swap_index_set callers; predict() never takes it — the
+        # hot path only ever reads the (atomically replaced) state holder.
+        self._swap_lock = threading.Lock()
+
+    def _freeze_state(self, generation: int) -> _ServingState:
+        """Run the cold-load freeze path and package it as one generation.
+
+        Both ``__init__`` and :meth:`swap_index_set` come through here, so a
+        hot-swapped generation is built by *exactly* the code a cold start
+        runs — the bit-parity guarantee between the two is structural, not
+        coincidental.
+        """
+        frozen = FrozenGraph.from_model(self.model)
+        adjacency = Tensor(frozen.adjacency, dtype=self._dtype)
+        degree_scale = Tensor(frozen.degree_scale, dtype=self._dtype)
+        kernel = None
+        if self.plan.use_kernel and hasattr(self.model.forecaster, "encoder_cells"):
+            from repro.core.serving_kernel import FrozenRecurrenceKernel
+
+            kernel = FrozenRecurrenceKernel(
+                self.model.forecaster,
+                frozen.adjacency,
+                frozen.index_set,
+                frozen.degree_scale,
+                backend=self.backend,
+            )
+            for batch in sorted(self._pinned_batches):
+                kernel.pin_workspace(batch)
+        return _ServingState(
+            frozen=frozen,
+            adjacency=adjacency,
+            degree_scale=degree_scale,
+            kernel=kernel,
+            generation=generation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Generation state (read-only views of the current holder)
+    # ------------------------------------------------------------------ #
+    @property
+    def frozen(self) -> FrozenGraph | None:
+        """The current generation's frozen graph (``None`` in unfrozen mode)."""
+        return self._state.frozen
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every :meth:`swap_index_set`."""
+        return self._state.generation
+
+    @property
+    def _kernel(self):
+        return self._state.kernel
+
+    @property
+    def _adjacency_tensor(self) -> Tensor | None:
+        return self._state.adjacency
+
+    @property
+    def _degree_scale_tensor(self) -> Tensor | None:
+        return self._state.degree_scale
+
+    def swap_index_set(self, index_set: np.ndarray) -> int:
+        """Hot-swap the frozen graph to ``index_set``; returns the new generation.
+
+        Re-runs the cold-load freeze path (slim adjacency over the model's
+        node embeddings restricted to ``index_set``, degree scales,
+        ``prepare_weights()`` into a fresh
+        :class:`~repro.core.serving_kernel.FrozenRecurrenceKernel`) and
+        publishes the result as one atomic state swap.  The output of the
+        new generation is bit-identical to a cold-started service loaded
+        with the same index set.  In-flight :meth:`predict` calls that
+        already picked up the old generation complete on it undisturbed;
+        the old kernel is garbage-collected once they drain.
+        """
+        if self._state.frozen is None:
+            raise RuntimeError(
+                "swap_index_set requires a frozen-graph service "
+                "(constructed with freeze_graph=True)"
+            )
+        index_set = np.asarray(index_set, dtype=np.int64).ravel()
+        num_nodes = int(self.config.get("num_nodes", 0)) if self.config else 0
+        if num_nodes and (index_set.min() < 0 or index_set.max() >= num_nodes):
+            raise ValueError(
+                f"index_set entries must lie in [0, {num_nodes}), "
+                f"got range [{index_set.min()}, {index_set.max()}]"
+            )
+        if np.unique(index_set).size != index_set.size:
+            raise ValueError("index_set must not contain duplicate node ids")
+        with self._swap_lock:
+            self.model._index_set = index_set
+            self._state = self._freeze_state(generation=self._state.generation + 1)
+            return self._state.generation
 
     @property
     def backend_name(self) -> str:
@@ -216,9 +315,13 @@ class ForecastService:
         ``max_batch`` so the steady-state batch size neither pays first-
         request allocation nor is ever evicted by the workspace LRU.  A
         no-op when the service runs without the frozen-recurrence kernel.
+        Pins are remembered across drift hot-swaps: every generation's fresh
+        kernel re-pins the same batch sizes.
         """
-        if self._kernel is not None:
-            self._kernel.pin_workspace(batch)
+        self._pinned_batches.add(int(batch))
+        kernel = self._state.kernel
+        if kernel is not None:
+            kernel.pin_workspace(batch)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -350,14 +453,18 @@ class ForecastService:
     # Inference
     # ------------------------------------------------------------------ #
     def _forward(self, history: Tensor) -> Tensor:
-        if self.frozen is not None:
-            if self._kernel is not None:
-                return Tensor(self._kernel(history.data), dtype=self._dtype)
+        # One holder read: a concurrent swap_index_set publishes a complete
+        # new generation, so this forward runs entirely on one generation —
+        # never a mix of old adjacency and new kernel.
+        state = self._state
+        if state.frozen is not None:
+            if state.kernel is not None:
+                return Tensor(state.kernel(history.data), dtype=self._dtype)
             return self.model.forecaster(
                 history,
-                self._adjacency_tensor,
-                self.frozen.index_set,
-                degree_scale=self._degree_scale_tensor,
+                state.adjacency,
+                state.frozen.index_set,
+                degree_scale=state.degree_scale,
             )
         return self.model(history)
 

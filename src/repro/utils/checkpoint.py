@@ -41,7 +41,12 @@ from repro.nn.module import Module
 # channels, observation-mask input).  Version-1 bundles predate scenarios and
 # load as point-forecast / dense-data models; their config simply lacks the
 # scenario fields, so the dataclass defaults apply.
-BUNDLE_VERSION = 2
+# Version 3 added streaming-scaler provenance (observation ``count`` and raw
+# ``m2`` sum of squared deviations, so ``StandardScaler.partial_fit`` can
+# extend a rehydrated scaler exactly) and an optional ``drift`` record — the
+# online-serving drift-monitor configuration.  v1/v2 bundles still load;
+# their scalers simply cannot be extended incrementally.
+BUNDLE_VERSION = 3
 
 _METADATA_KEY = "__metadata__"
 _BUNDLE_KEY = "__bundle__"
@@ -119,6 +124,9 @@ class CheckpointBundle:
         The floating dtype the parameters were saved under.
     scaler_state:
         ``{"type", "mean", "std"}`` of the fitted target scaler, or ``None``.
+        Version ≥ 3 bundles additionally record ``count`` (observations the
+        statistics summarise) and ``m2`` (raw sum of squared deviations) so
+        the rehydrated scaler supports exact ``partial_fit`` continuation.
     sampler_candidates:
         SNS candidate-neighbour matrix ``C`` of shape ``(N, M)``, or ``None``.
     index_set:
@@ -137,6 +145,12 @@ class CheckpointBundle:
         ``{"quantiles": None, "exog_dim": 0, "mask_input": False}``; the
         same fields also live in ``config``, this record just makes them
         inspectable without rebuilding the model.
+    drift:
+        Online-serving drift-monitor configuration (the
+        :class:`repro.serve.online.DriftConfig` fields) recorded when the
+        bundle was written with ``save_bundle(..., drift=...)``, or ``None``.
+        ``SessionManager.from_checkpoint`` uses it as the default monitor
+        configuration (version ≥ 3 bundles).
     metadata:
         Free-form user metadata.
     version:
@@ -154,6 +168,7 @@ class CheckpointBundle:
     scenario: dict = field(
         default_factory=lambda: {"quantiles": None, "exog_dim": 0, "mask_input": False}
     )
+    drift: dict | None = None
     metadata: dict = field(default_factory=dict)
     version: int = BUNDLE_VERSION
 
@@ -164,6 +179,7 @@ def save_bundle(
     scaler=None,
     metadata: dict | None = None,
     scheduler=None,
+    drift=None,
 ) -> Path:
     """Write a self-contained serving bundle for ``model`` to ``path``.
 
@@ -175,7 +191,9 @@ def save_bundle(
     the forecaster without any other artefact.  Passing the active
     learning-rate ``scheduler`` additionally persists its
     :meth:`~repro.optim.lr_scheduler._Scheduler.state_dict` so a resumed run
-    continues the schedule instead of restarting it.
+    continues the schedule instead of restarting it.  ``drift`` (a
+    :class:`repro.serve.online.DriftConfig` or an equivalent dict) records
+    the online drift-monitor configuration serving hosts should start with.
     """
     path = _normalise_path(path)
     payload = {name: parameter.data for name, parameter in model.named_parameters()}
@@ -205,6 +223,13 @@ def save_bundle(
             "mean": float(scaler.mean_),
             "std": float(scaler.std_),
         }
+        # Streaming provenance (v3): the observation count and raw sum of
+        # squared deviations let StandardScaler.partial_fit continue the
+        # accumulation exactly after rehydration.
+        count = getattr(scaler, "count_", None)
+        if count is not None:
+            scaler_state["count"] = int(count)
+            scaler_state["m2"] = float(getattr(scaler, "_m2", 0.0))
 
     scenario = {
         "quantiles": None,
@@ -219,6 +244,12 @@ def save_bundle(
             "mask_input": bool(config_dict.get("mask_input", False)),
         }
 
+    drift_record = None
+    if drift is not None:
+        from dataclasses import asdict, is_dataclass
+
+        drift_record = asdict(drift) if is_dataclass(drift) else dict(drift)
+
     bundle_info = {
         "version": BUNDLE_VERSION,
         "model_type": type(model).__name__,
@@ -226,6 +257,7 @@ def save_bundle(
         "config": config_dict,
         "scaler": scaler_state,
         "scenario": scenario,
+        "drift": drift_record,
     }
     payload[_BUNDLE_KEY] = np.array(json.dumps(bundle_info))
     payload[_METADATA_KEY] = np.array(json.dumps(metadata or {}))
@@ -292,6 +324,13 @@ def rehydrate_scaler(bundle: CheckpointBundle):
     scaler = StandardScaler()
     scaler.mean_ = float(state["mean"])
     scaler.std_ = float(state["std"])
+    if "count" in state:
+        scaler.count_ = int(state["count"])
+        scaler._m2 = float(state.get("m2", 0.0))
+    else:
+        # Pre-v3 statistics: no sample-count provenance, so partial_fit
+        # cannot extend them (it raises rather than mis-weighting).
+        scaler.count_ = None
     return scaler
 
 
@@ -340,6 +379,7 @@ def load_bundle(path: str | Path) -> CheckpointBundle:
         index_set=index_set,
         scheduler_state=scheduler_state,
         scenario=scenario,
+        drift=info.get("drift"),
         metadata=metadata,
         version=version,
     )

@@ -154,15 +154,32 @@ class TestExecutionPlan:
 
 
 class TestDeprecationShims:
+    # The shim warnings must hand the migration to the reader: name the
+    # ExecutionPlan replacement and point at the README's backend section.
+
     def test_gconv_node_chunk_size_kwarg_warns_but_works(self):
         with pytest.warns(DeprecationWarning, match="node_chunk_size"):
             conv = FastGraphConv(2, 2, node_chunk_size=4)
         assert conv.node_chunk_size == 4
 
+    def test_gconv_warning_names_plan_and_readme_anchor(self):
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"ExecutionPlan(.|\n)*README\.md#execution-backends",
+        ):
+            FastGraphConv(2, 2, node_chunk_size=4)
+
     def test_cell_node_chunk_size_kwarg_warns_but_works(self):
         with pytest.warns(DeprecationWarning, match="node_chunk_size"):
             cell = OneStepFastGConvCell(input_dim=2, hidden_dim=4, node_chunk_size=3)
         assert cell.gates.node_chunk_size == 3
+
+    def test_cell_warning_names_plan_and_readme_anchor(self):
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"ExecutionPlan(.|\n)*README\.md#execution-backends",
+        ):
+            OneStepFastGConvCell(input_dim=2, hidden_dim=4, node_chunk_size=3)
 
     def test_plan_and_legacy_kwarg_are_mutually_exclusive(self):
         backend = get_backend("numpy")
@@ -178,6 +195,13 @@ class TestDeprecationShims:
             service = ForecastService(model, use_kernel=False)
         assert service._kernel is None
         assert model.plan.use_kernel is False
+
+    def test_service_warning_names_plan_and_readme_anchor(self):
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"ExecutionPlan\.use_kernel(.|\n)*README\.md#execution-backends",
+        ):
+            ForecastService(_converged_model(), use_kernel=True)
 
     def test_plan_use_kernel_is_the_new_switch(self):
         model = _converged_model()

@@ -42,7 +42,9 @@ class TestBundleRoundTrip:
         assert bundle.metadata == {"dataset": "tiny", "epochs": 3}
         assert bundle.config["num_nodes"] == 8
         assert bundle.scaler_state == {"type": "StandardScaler", "mean": 20.0,
-                                       "std": pytest.approx(fitted_scaler.std_)}
+                                       "std": pytest.approx(fitted_scaler.std_),
+                                       "count": 3,
+                                       "m2": pytest.approx(fitted_scaler._m2)}
         assert np.array_equal(bundle.sampler_candidates, model.sampler.candidates)
         assert np.array_equal(bundle.index_set, model.index_set)
         for name, parameter in model.named_parameters():

@@ -36,6 +36,7 @@ def tiny_report(run_perf, tmp_path_factory):
             "--scaling-budget-mb", "8",
             "--cluster-workers", "1", "2",
             "--cluster-requests", "8",
+            "--online-steps", "16",
             "--output", str(output),
         ]
     )
@@ -176,7 +177,7 @@ class TestRecurrenceSection:
     def test_recurrence_section_present_and_sane(self, tiny_report):
         report, _ = tiny_report
         recurrence = report["recurrence"]
-        assert report["schema_version"] == 6
+        assert report["schema_version"] == 7
         assert recurrence["history"] > 0 and recurrence["horizon"] > 0
         (entry,) = recurrence["results"]
         assert entry["num_nodes"] == 24
@@ -396,6 +397,86 @@ class TestBackendsSection:
                 }
             )
 
+
+class TestOnlineSection:
+    def test_online_section_present_and_sane(self, tiny_report):
+        report, _ = tiny_report
+        online = report["online"]
+        assert online["num_nodes"] == 24
+        assert online["steps"] == 16
+        assert online["push_rows_per_s"] > 0
+        assert online["push_ms_per_step"] > 0
+        assert online["forecast_p95_ms"] >= online["forecast_p50_ms"] > 0
+        assert online["forecast_rps"] > 0
+        assert online["swap_latency_ms"] > 0
+        assert online["forecast_during_swap_p95_ms"] > 0
+        assert online["forecast_during_swap_requests"] >= 20
+        # the two hard invariants of the hot-swap design
+        assert online["forecast_during_swap_errors"] == 0
+        assert online["swap_parity"] is True
+        assert online["generation"] >= 1
+
+    def test_online_only_mode_with_parity_gate(self, run_perf, tmp_path):
+        output = tmp_path / "online.json"
+        report = run_perf.main(
+            [
+                "--online-only",
+                "--sizes", "24",
+                "--m", "6",
+                "--heads", "2",
+                "--embedding-dim", "4",
+                "--ffn-hidden", "4",
+                "--hidden", "4",
+                "--repeats", "1",
+                "--online-steps", "16",
+                "--assert-swap-parity",
+                "--output", str(output),
+            ]
+        )
+        assert report["benchmark"] == "attention-online"
+        on_disk = json.loads(output.read_text())
+        assert "results" not in on_disk  # only the online section is written
+        run_perf.validate_online(on_disk["online"])
+
+    def test_online_only_is_exclusive(self, run_perf, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                ["--online-only", "--cluster-only",
+                 "--output", str(tmp_path / "x.json")]
+            )
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                ["--online-steps", "2", "--output", str(tmp_path / "x.json")]
+            )
+
+    def test_parity_gate_needs_online_section(self, run_perf, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                ["--cluster-only", "--assert-swap-parity",
+                 "--output", str(tmp_path / "x.json")]
+            )
+
+    def test_online_validator_rejects_missing_keys_and_errors(self, run_perf):
+        with pytest.raises(ValueError, match="missing key"):
+            run_perf.validate_online({"num_nodes": 24})
+        good = {
+            "num_nodes": 24, "num_significant": 6, "dtype": "float32",
+            "steps": 16, "push_rows_per_s": 1.0, "push_ms_per_step": 1.0,
+            "forecast_p50_ms": 1.0, "forecast_p95_ms": 1.0,
+            "forecast_rps": 1.0, "swap_latency_ms": 1.0,
+            "forecast_during_swap_p95_ms": 1.0,
+            "forecast_during_swap_requests": 20,
+            "forecast_during_swap_errors": 0, "swaps_during_forecast": 1,
+            "swap_parity": True, "generation": 1,
+        }
+        run_perf.validate_online(good)  # must not raise
+        with pytest.raises(ValueError, match="errored"):
+            run_perf.validate_online(
+                dict(good, forecast_during_swap_errors=2)
+            )
+
+
+class TestBackendsValidator:
     def test_backends_validator_rejects_missing_keys(self, run_perf):
         with pytest.raises(ValueError, match="non-empty results"):
             run_perf.validate_backends({"results": []})

@@ -464,7 +464,10 @@ class TestServeCLI:
             serve_main([str(bundle_path), "--requests", "0"])
 
     def test_plain_checkpoint_is_rejected(self, trained, tmp_path):
+        """Non-bundle archives exit with a one-line error, not a traceback."""
         model, _, _, _ = trained
         plain = save_checkpoint(model, tmp_path / "plain")
-        with pytest.raises(ValueError, match="not a serving bundle"):
+        with pytest.raises(SystemExit, match="not a serving bundle") as excinfo:
             serve_main([str(plain)])
+        assert str(excinfo.value).startswith("error: ")
+        assert "\n" not in str(excinfo.value)

@@ -16,6 +16,7 @@ non-destructive tests.
 
 import asyncio
 import threading
+from itertools import combinations
 
 import numpy as np
 import pytest
@@ -23,7 +24,25 @@ import pytest
 from repro.core import SAGDFN, SAGDFNConfig
 from repro.serve import ClusterError, ForecastService, ServingCluster
 from repro.serve.__main__ import main as serve_main
-from repro.utils import save_bundle
+from repro.utils import load_bundle, save_bundle
+from repro.utils.checkpoint import rehydrate_model
+
+
+def _different_index_set(frozen, num_nodes):
+    """The first same-sized index set that differs from ``frozen``."""
+    frozen = np.sort(np.asarray(frozen))
+    for combo in combinations(range(num_nodes), frozen.size):
+        candidate = np.asarray(combo, dtype=np.int64)
+        if not np.array_equal(candidate, frozen):
+            return candidate
+    raise AssertionError("no alternative index set exists")
+
+
+def _cold_service(bundle_data, index_set):
+    """A cold-started single-process service frozen on ``index_set``."""
+    model = rehydrate_model(bundle_data)
+    model._index_set = np.asarray(index_set, dtype=np.int64).copy()
+    return ForecastService(model)
 
 
 @pytest.fixture(scope="module")
@@ -185,6 +204,125 @@ class TestClusterFaults:
         for name in names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
+
+
+class TestRingWraparound:
+    def test_sustained_load_wraps_slots_without_reuse_while_unread(
+            self, bundle, windows):
+        """Serve far more requests than ``slots x max_batch`` through one
+        worker and use the channel trace hook to prove the ring invariant:
+        a slot is never re-dispatched while its previous response is still
+        unread.  Sequential batch-1 requests stay bit-identical to the
+        single-process service; the concurrent burst (which coalesces into
+        larger micro-batches) stays within float64 round-off of it."""
+        path, _ = bundle
+        events = []
+        with ServingCluster(path, workers=1, slots=2, max_batch=2,
+                            max_wait_ms=0.5) as cluster:
+            channel = cluster._channels[0]
+            channel.trace = (
+                lambda kind, seq, slot, batch: events.append((kind, seq, slot))
+            )
+            service = ForecastService.from_checkpoint(path)
+            for window in windows:  # 12 sequential requests > 2 x 2 capacity
+                served = cluster.predict(window, timeout=60)
+                assert np.array_equal(served, service.predict(window[None])[0])
+            futures = [cluster.submit(window) for window in windows]
+            results = np.stack([future.result(timeout=60) for future in futures])
+            assert np.allclose(results, service.predict(windows), atol=1e-9)
+
+        outstanding = {}
+        dispatches_per_slot = {}
+        for kind, seq, slot in events:
+            if kind == "dispatch":
+                assert outstanding.get(slot) is None, (
+                    f"slot {slot} re-dispatched while seq "
+                    f"{outstanding[slot]} was still unread"
+                )
+                outstanding[slot] = seq
+                dispatches_per_slot[slot] = dispatches_per_slot.get(slot, 0) + 1
+            else:
+                assert kind == "complete"
+                assert outstanding.get(slot) == seq
+                outstanding[slot] = None
+        assert sum(dispatches_per_slot.values()) >= len(windows)
+        assert max(dispatches_per_slot.values()) > 1  # the ring really wrapped
+
+
+class TestClusterHotSwap:
+    def test_swap_broadcast_matches_cold_start_bitwise(self, bundle, windows):
+        path, config = bundle
+        bundle_data = load_bundle(path)
+        fresh = _different_index_set(bundle_data.index_set, config.num_nodes)
+        with ServingCluster(path, workers=2, max_batch=4,
+                            max_wait_ms=1.0) as cluster:
+            before = cluster.predict(windows[0], timeout=60)
+            assert cluster.generation == 0
+            assert cluster.swap_index_set(fresh) == 1
+            assert cluster.generation == 1
+            assert np.array_equal(cluster.index_set, fresh)
+            assert cluster.alive_workers == 2
+            cold = _cold_service(bundle_data, fresh)
+            for window in windows[:4]:
+                assert np.array_equal(
+                    cluster.predict(window, timeout=60),
+                    cold.predict(window[None])[0],
+                )
+            assert not np.array_equal(
+                cluster.predict(windows[0], timeout=60), before
+            )
+
+    def test_inflight_requests_during_swap_complete_on_one_generation(
+            self, bundle, windows):
+        """Clients hammering a 2-worker cluster across three hot-swaps:
+        every request resolves without error, and each answer is bitwise
+        one of the two per-generation cold-start references (``max_batch=1``
+        keeps every request a batch of one, so bitwise comparison holds)."""
+        path, config = bundle
+        bundle_data = load_bundle(path)
+        # keep the original order — the frozen kernel is order-significant
+        frozen = np.asarray(bundle_data.index_set, dtype=np.int64)
+        fresh = _different_index_set(frozen, config.num_nodes)
+        window = windows[0]
+        ref_frozen = _cold_service(bundle_data, frozen).predict(window[None])[0]
+        ref_fresh = _cold_service(bundle_data, fresh).predict(window[None])[0]
+
+        with ServingCluster(path, workers=2, max_batch=1,
+                            max_wait_ms=0.5) as cluster:
+            outputs, errors = [], []
+            stop = threading.Event()
+
+            def client():
+                try:
+                    while not stop.is_set() and len(outputs) < 200:
+                        outputs.append(cluster.predict(window, timeout=60))
+                except Exception as exc:  # noqa: BLE001 - asserted empty
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for index_set in (fresh, frozen, fresh):
+                cluster.swap_index_set(index_set)
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+            assert not errors
+            assert outputs
+            assert cluster.generation == 3
+            assert cluster.alive_workers == 2
+            for output in outputs:
+                assert (np.array_equal(output, ref_frozen)
+                        or np.array_equal(output, ref_fresh))
+
+    def test_swap_rejected_after_close(self, bundle):
+        path, config = bundle
+        cluster = ServingCluster(path, workers=1, max_batch=2, max_wait_ms=1.0)
+        fresh = _different_index_set(cluster.index_set, config.num_nodes)
+        cluster.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.swap_index_set(fresh)
 
 
 class TestClusterCLI:
