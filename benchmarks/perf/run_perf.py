@@ -43,6 +43,14 @@ Times the three costs that dominate SAGDFN training at Table VI/VII scales
   complete), and the bitwise ``swap_parity`` of a hot-swapped service
   against a cold start from the same index set.
   ``--assert-swap-parity`` gates CI on that bitwise check.
+* ``faults`` — fault tolerance (schema v8): the same concurrent burst is
+  served twice through a supervised cluster, fault-free and under a seeded
+  :class:`~repro.serve.FaultPlan` that SIGKILLs every worker once —
+  recording throughput retention, how every request resolved (nothing may
+  hang), and ``recovery_s``, the post-burst time the supervisor needed to
+  respawn the pool to full strength.  ``--assert-fault-recovery`` gates CI
+  on zero unresolved requests, a fully restored pool with no parked
+  worker, and recovery within the restart backoff ceiling.
 
 Results are written as JSON (default: ``BENCH_attention.json`` at the repo
 root) so subsequent PRs have a perf trajectory to compare against::
@@ -90,7 +98,7 @@ from repro.optim import Adam, clip_grad_norm
 from repro.serve import ForecastService
 from repro.tensor import Tensor, default_dtype, no_grad
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 DEFAULT_SIZES = (200, 2000)
 BACKEND_BENCH_NAMES = ("numpy", "numba")
 SCALING_SIZES = (500, 2000, 5000, 10000)
@@ -900,6 +908,154 @@ def bench_online(num_nodes, m, heads, embedding_dim, ffn_hidden, hidden,
     }
 
 
+def bench_faults(num_nodes, m, heads, embedding_dim, ffn_hidden, hidden,
+                 workers: int = 2, requests: int = 32, max_batch: int = 1,
+                 seed: int = 0, dtype: str = "float32",
+                 history: int = 6, horizon: int = 6,
+                 restart_backoff_s: float = 0.1,
+                 restart_backoff_ceiling_s: float = 8.0) -> dict:
+    """Throughput and recovery under a standard kill schedule (schema v8).
+
+    Runs the same concurrent burst twice through a supervised
+    :class:`~repro.serve.ServingCluster`: once fault-free (the baseline)
+    and once under a seeded :class:`~repro.serve.FaultPlan` that SIGKILLs
+    every worker once.  Records how much throughput the faulted run
+    retains, how every request resolved (``unresolved`` must be zero —
+    nothing may hang), and how long after the burst the supervisor needed
+    to respawn the pool to full strength.  ``recovery_s`` is gated against
+    ``restart_backoff_ceiling_s`` by ``--assert-fault-recovery``.
+    """
+    import tempfile
+    from concurrent.futures import TimeoutError as FutureTimeoutError
+
+    from repro.serve.batching import DeadlineExceeded, Overloaded
+    from repro.serve.cluster import ClusterError, ServingCluster
+    from repro.serve.faults import FaultPlan
+    from repro.utils import save_bundle
+
+    m_eff = min(m, num_nodes)
+    with default_dtype(dtype):
+        rng = np.random.default_rng(0)
+        config = SAGDFNConfig(
+            num_nodes=num_nodes, history=history, horizon=horizon,
+            embedding_dim=embedding_dim, num_significant=m_eff,
+            top_k=max(1, int(m_eff * 0.8)), hidden_size=hidden,
+            num_heads=heads, ffn_hidden=ffn_hidden, seed=0,
+        )
+        model = SAGDFN(config)
+        model.refresh_graph(0)
+
+    plan = FaultPlan(
+        workers=workers, seed=seed,
+        # The schedule is keyed by per-worker served *jobs*; max_batch=1
+        # keeps jobs == requests, and halving the per-worker share keeps
+        # every kill ordinal inside the burst even when re-dispatches skew
+        # the round-robin split.
+        horizon=max(2, requests // (2 * workers)),
+        kills_per_worker=1,
+    )
+
+    def burst(cluster, windows):
+        latencies: list[float] = []
+        begin = time.perf_counter()
+        futures = []
+        for window in windows:
+            submitted = time.perf_counter()
+            future = cluster.submit(window)
+            future.add_done_callback(
+                lambda f, s=submitted: latencies.append(
+                    (time.perf_counter() - s) * 1000.0
+                )
+            )
+            futures.append(future)
+        ok = typed_errors = unresolved = 0
+        for future in futures:
+            try:
+                future.result(timeout=600)
+            except (ClusterError, Overloaded, DeadlineExceeded):
+                typed_errors += 1  # RingCorruptionError is a ClusterError
+            except FutureTimeoutError:
+                unresolved += 1
+            else:
+                ok += 1
+        elapsed = time.perf_counter() - begin
+        return {
+            "ok": int(ok),
+            "typed_errors": int(typed_errors),
+            "unresolved": int(unresolved),
+            "throughput_rps": (
+                len(windows) / elapsed if elapsed > 0 else float("inf")
+            ),
+            "latency_p95_ms": float(np.percentile(latencies, 95))
+            if latencies else None,
+        }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_path = save_bundle(model, Path(tmp) / "bench_bundle")
+        windows = rng.normal(
+            size=(requests, history, num_nodes, config.input_dim)
+        )
+        supervisor_kwargs = dict(
+            workers=workers, max_batch=max_batch,
+            supervise=True, supervise_interval_s=0.05,
+            restart_backoff_s=restart_backoff_s,
+            restart_backoff_ceiling_s=restart_backoff_ceiling_s,
+        )
+        with ServingCluster(bundle_path, **supervisor_kwargs) as cluster:
+            for future in [cluster.submit(windows[i % requests])
+                           for i in range(workers)]:
+                future.result(timeout=300)
+            baseline = burst(cluster, windows)
+
+        with ServingCluster(bundle_path, fault_plan=plan,
+                            **supervisor_kwargs) as cluster:
+            faulted = burst(cluster, windows)
+            # Recovery: time after the burst until the supervisor has the
+            # full pool live again (respawns overlap the burst, so this is
+            # often near zero).
+            recover_begin = time.perf_counter()
+            deadline = recover_begin + 120.0
+            while (cluster.alive_workers < workers
+                   and time.perf_counter() < deadline):
+                time.sleep(0.02)
+            recovery_s = time.perf_counter() - recover_begin
+            health = cluster.health()
+            pool_restored = health.num_alive == workers
+
+    retention = (
+        faulted["throughput_rps"] / baseline["throughput_rps"]
+        if baseline["throughput_rps"] else None
+    )
+    print(
+        f"faults N={num_nodes:>6} workers={workers}: baseline "
+        f"{baseline['throughput_rps']:.1f} req/s -> faulted "
+        f"{faulted['throughput_rps']:.1f} req/s "
+        f"({faulted['ok']} ok / {faulted['typed_errors']} typed / "
+        f"{faulted['unresolved']} unresolved), recovery {recovery_s:.2f} s, "
+        f"{health.total_restarts} restart(s), {health.num_parked} parked",
+        flush=True,
+    )
+    return {
+        "num_nodes": int(num_nodes),
+        "num_significant": int(m_eff),
+        "workers": int(workers),
+        "requests": int(requests),
+        "max_batch": int(max_batch),
+        "dtype": dtype,
+        "plan": plan.summary(),
+        "baseline": baseline,
+        "faulted": faulted,
+        "throughput_retention": retention,
+        "recovery_s": recovery_s,
+        "pool_restored": bool(pool_restored),
+        "parked_workers": int(health.num_parked),
+        "total_restarts": int(health.total_restarts),
+        "redispatches": int(health.redispatches),
+        "restart_backoff_s": float(restart_backoff_s),
+        "restart_backoff_ceiling_s": float(restart_backoff_ceiling_s),
+    }
+
+
 def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         train_step_max_n, scaling_sizes=SCALING_SIZES, scaling_budget_mb=64.0,
         scaling_embedding_dim=64, scaling_equivalence_max_n=10_000,
@@ -985,6 +1141,11 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
     online = bench_online(serve_n, m, heads, embedding_dim, ffn_hidden,
                           hidden, repeats, steps=online_steps)
 
+    # Fault tolerance: throughput retention and pool recovery under the
+    # standard kill schedule.
+    faults = bench_faults(serve_n, m, heads, embedding_dim, ffn_hidden,
+                          hidden, requests=cluster_requests)
+
     return {
         "benchmark": "attention",
         "schema_version": SCHEMA_VERSION,
@@ -1004,6 +1165,7 @@ def run(sizes, m, heads, embedding_dim, ffn_hidden, hidden, repeats,
         "backends": backends,
         "cluster": cluster,
         "online": online,
+        "faults": faults,
         "results": results,
     }
 
@@ -1113,11 +1275,42 @@ def validate_online(section: dict) -> None:
         )
 
 
+def validate_faults(section: dict) -> None:
+    """Raise ``ValueError`` if ``section`` is not a valid faults section."""
+    if not isinstance(section, dict):
+        raise ValueError("faults section must be a dict")
+    for key in ("num_nodes", "workers", "requests", "plan", "baseline",
+                "faulted", "throughput_retention", "recovery_s",
+                "pool_restored", "parked_workers", "total_restarts",
+                "redispatches", "restart_backoff_s",
+                "restart_backoff_ceiling_s"):
+        if key not in section:
+            raise ValueError(f"faults section missing key {key!r}")
+    for name in ("baseline", "faulted"):
+        entry = section[name]
+        for key in ("ok", "typed_errors", "unresolved", "throughput_rps",
+                    "latency_p95_ms"):
+            if key not in entry:
+                raise ValueError(
+                    f"faults {name} entry missing key {key!r}: {entry}"
+                )
+        if entry["unresolved"]:
+            raise ValueError(
+                f"{entry['unresolved']} request(s) never resolved in the "
+                f"{name} run; every future must resolve with a result or a "
+                "typed error"
+            )
+    plan = section["plan"]
+    for key in ("workers", "seed", "horizon", "events", "by_kind"):
+        if key not in plan:
+            raise ValueError(f"faults plan summary missing key {key!r}")
+
+
 def validate_schema(report: dict) -> None:
     """Raise ``ValueError`` if ``report`` is not a valid benchmark report."""
     for key in ("benchmark", "schema_version", "config", "results",
                 "attention_speedup_vs_seed", "serve", "scaling", "recurrence",
-                "backends", "cluster", "online"):
+                "backends", "cluster", "online", "faults"):
         if key not in report:
             raise ValueError(f"missing top-level key {key!r}")
     if not isinstance(report["results"], list) or not report["results"]:
@@ -1141,6 +1334,7 @@ def validate_schema(report: dict) -> None:
     validate_backends(report["backends"])
     validate_cluster(report["cluster"])
     validate_online(report["online"])
+    validate_faults(report["faults"])
 
 
 def main(argv=None) -> dict:
@@ -1215,6 +1409,18 @@ def main(argv=None) -> dict:
                              "forecast is bit-identical to a cold start from "
                              "the same index set (and no request errored "
                              "during the concurrent swap)")
+    parser.add_argument("--fault-workers", type=int, default=2,
+                        help="worker count of the fault-tolerance bench "
+                             "(default: 2)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="FaultPlan seed of the fault-tolerance bench")
+    parser.add_argument("--faults-only", action="store_true",
+                        help="run (and write) only the fault-tolerance section")
+    parser.add_argument("--assert-fault-recovery", action="store_true",
+                        help="exit non-zero unless the faulted burst resolved "
+                             "every request, the pool respawned to full "
+                             "strength with no parked worker, and recovery "
+                             "stayed within the restart backoff ceiling")
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: smallest N only, single repeat")
     parser.add_argument("--output", type=Path, default=None,
@@ -1230,6 +1436,8 @@ def main(argv=None) -> dict:
         parser.error("--recurrence-sizes values must be positive node counts")
     if args.m < 1 or args.repeats < 1:
         parser.error("--m and --repeats must be >= 1")
+    if args.fault_workers < 1:
+        parser.error("--fault-workers must be >= 1")
     if any(w < 1 for w in args.cluster_workers) or args.cluster_requests < 1:
         parser.error("--cluster-workers/--cluster-requests must be >= 1")
     if args.online_steps < 8:
@@ -1240,6 +1448,7 @@ def main(argv=None) -> dict:
         "--backend-only": args.backend_only,
         "--cluster-only": args.cluster_only,
         "--online-only": args.online_only,
+        "--faults-only": args.faults_only,
     }
     if sum(only_flags.values()) > 1:
         parser.error(" and ".join(only_flags) + " are mutually exclusive")
@@ -1255,6 +1464,8 @@ def main(argv=None) -> dict:
          "--cluster-only"),
         ("--assert-swap-parity", args.assert_swap_parity or None,
          "--online-only"),
+        ("--assert-fault-recovery", args.assert_fault_recovery or None,
+         "--faults-only"),
     ):
         other_only = any(flag for name, flag in only_flags.items()
                          if name != section_flag)
@@ -1283,6 +1494,8 @@ def main(argv=None) -> dict:
             default_name = "BENCH_cluster.json"
         elif args.online_only:
             default_name = "BENCH_online.json"
+        elif args.faults_only:
+            default_name = "BENCH_faults.json"
         else:
             default_name = "BENCH_attention.json"
         args.output = REPO_ROOT / default_name
@@ -1347,6 +1560,19 @@ def main(argv=None) -> dict:
                 "schema_version": SCHEMA_VERSION,
                 "online": online,
             }
+        elif args.faults_only:
+            faults = bench_faults(
+                min(args.sizes), args.m, args.heads, args.embedding_dim,
+                args.ffn_hidden, args.hidden,
+                workers=args.fault_workers,
+                requests=args.cluster_requests,
+                seed=args.fault_seed,
+            )
+            report = {
+                "benchmark": "attention-faults",
+                "schema_version": SCHEMA_VERSION,
+                "faults": faults,
+            }
         else:
             report = run(args.sizes, args.m, args.heads, args.embedding_dim,
                          args.ffn_hidden, args.hidden, args.repeats,
@@ -1383,6 +1609,8 @@ def main(argv=None) -> dict:
         validate_cluster(report["cluster"])
     elif args.online_only:
         validate_online(report["online"])
+    elif args.faults_only:
+        validate_faults(report["faults"])
     else:
         validate_schema(report)
 
@@ -1465,6 +1693,36 @@ def main(argv=None) -> dict:
                 "during the concurrent hot-swap"
             )
         print("swap parity assertion (hot == cold start, bitwise) ok")
+    if args.assert_fault_recovery:
+        section = report["faults"]
+        problems = []
+        for name in ("baseline", "faulted"):
+            if section[name]["unresolved"]:
+                problems.append(
+                    f"{section[name]['unresolved']} request(s) never "
+                    f"resolved in the {name} run"
+                )
+        if not section["pool_restored"]:
+            problems.append("the supervisor did not respawn the pool to "
+                            "full strength")
+        if section["parked_workers"]:
+            problems.append(
+                f"{section['parked_workers']} worker(s) were parked by the "
+                "crash-loop circuit breaker"
+            )
+        ceiling = section["restart_backoff_ceiling_s"]
+        if section["recovery_s"] > ceiling:
+            problems.append(
+                f"pool recovery took {section['recovery_s']:.2f} s, beyond "
+                f"the {ceiling:.1f} s backoff ceiling"
+            )
+        if problems:
+            raise SystemExit("fault recovery assertion failed: "
+                             + "; ".join(problems))
+        print(
+            "fault recovery assertion (all resolved, pool restored within "
+            f"{ceiling:.1f} s) ok"
+        )
     return report
 
 

@@ -15,7 +15,12 @@ package exploits that:
   milliseconds of queueing delay for much higher throughput.
 * :class:`ServingCluster` replicates the frozen kernel across worker
   processes (shared-memory request rings, per-worker micro-batching, an
-  asyncio front door) for multi-core throughput on one host.
+  asyncio front door) for multi-core throughput on one host — with a
+  supervisor that respawns dead workers (exponential backoff, crash-loop
+  circuit breaker), per-request deadlines and a bounded admission
+  watermark (typed :class:`Overloaded` / :class:`DeadlineExceeded`
+  shedding), CRC-checked response rings, and a deterministic
+  :class:`FaultPlan` chaos harness (:mod:`repro.serve.faults`).
 * :mod:`repro.serve.online` adds the stateful half: per-client
   :class:`StreamingSession` history rings behind a :class:`SessionManager`,
   incremental scaler updates, and a :class:`DriftMonitor` that re-runs SNS
@@ -27,8 +32,21 @@ package exploits that:
   stream through sessions).
 """
 
-from repro.serve.batching import BatchStats, MicroBatcher
-from repro.serve.cluster import ClusterError, ServingCluster, WorkerDiedError
+from repro.serve.batching import (
+    BatchStats,
+    DeadlineExceeded,
+    MicroBatcher,
+    Overloaded,
+)
+from repro.serve.cluster import (
+    ClusterError,
+    ClusterHealth,
+    RingCorruptionError,
+    ServingCluster,
+    WorkerDiedError,
+    WorkerHealth,
+)
+from repro.serve.faults import FaultEvent, FaultPlan
 from repro.serve.online import (
     DriftConfig,
     DriftMonitor,
@@ -43,9 +61,16 @@ __all__ = [
     "FrozenGraph",
     "MicroBatcher",
     "BatchStats",
+    "Overloaded",
+    "DeadlineExceeded",
     "ServingCluster",
     "ClusterError",
     "WorkerDiedError",
+    "RingCorruptionError",
+    "ClusterHealth",
+    "WorkerHealth",
+    "FaultPlan",
+    "FaultEvent",
     "DriftConfig",
     "DriftMonitor",
     "DriftReport",

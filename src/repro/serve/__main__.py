@@ -53,6 +53,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="micro-batching: largest coalesced batch")
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
                         help="micro-batching: wait for stragglers after the first request")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        help="admission control: per-request deadline; a request "
+                             "still queued this many seconds after submission is "
+                             "shed before it reaches the kernel")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="admission control: per-worker pending-queue "
+                             "watermark; beyond it new requests are rejected "
+                             "with a typed Overloaded error instead of queueing")
     parser.add_argument("--no-freeze", action="store_true",
                         help="re-derive the graph on every request (debugging only)")
     parser.add_argument("--chunk-size", type=int, default=None,
@@ -160,17 +168,44 @@ def _load_windows(args, config: dict) -> np.ndarray:
     return windows
 
 
-def _report(windows: np.ndarray, predictions: np.ndarray, elapsed: float,
+def _report(num_served: int, predictions: np.ndarray, elapsed: float,
             stats, output: Path | None) -> None:
-    throughput = len(windows) / elapsed if elapsed > 0 else float("inf")
+    throughput = num_served / elapsed if elapsed > 0 else float("inf")
     print(
-        f"served {len(windows)} requests in {elapsed * 1000.0:.1f} ms "
+        f"served {num_served} requests in {elapsed * 1000.0:.1f} ms "
         f"({throughput:.1f} req/s) over {stats.num_batches} batches "
         f"(mean batch {stats.mean_batch_size:.1f}, max {stats.max_batch_size})"
     )
     if output is not None:
         np.save(output, predictions)
         print(f"wrote predictions {predictions.shape} to {output}")
+
+
+def _submit_and_gather(submit, windows: np.ndarray, deadline_s: float | None):
+    """Submit every window, tolerating typed admission-control errors.
+
+    Returns ``(results, rejected, shed)``: predictions of the requests
+    that made it through, plus the counts rejected at the watermark
+    (:class:`Overloaded`) and shed at their deadline
+    (:class:`DeadlineExceeded`).
+    """
+    from repro.serve.batching import DeadlineExceeded, Overloaded
+
+    futures = []
+    rejected = 0
+    for window in windows:
+        try:
+            futures.append(submit(window, deadline_s=deadline_s))
+        except Overloaded:
+            rejected += 1
+    results = []
+    shed = 0
+    for future in futures:
+        try:
+            results.append(future.result())
+        except DeadlineExceeded:
+            shed += 1
+    return results, rejected, shed
 
 
 def _serve_cluster(args) -> int:
@@ -188,6 +223,7 @@ def _serve_cluster(args) -> int:
         chunk_size=args.chunk_size,
         memory_budget_mb=args.memory_budget_mb,
         backend=args.backend,
+        max_pending=args.max_pending,
     ) as cluster:
         load_ms = (time.perf_counter() - load_start) * 1000.0
         print(
@@ -195,11 +231,25 @@ def _serve_cluster(args) -> int:
             f"in {load_ms:.1f} ms"
         )
         serve_start = time.perf_counter()
-        futures = [cluster.submit(window) for window in windows]
-        predictions = np.stack([future.result() for future in futures])
+        results, rejected, shed = _submit_and_gather(
+            cluster.submit, windows, args.deadline_s
+        )
         elapsed = time.perf_counter() - serve_start
         stats = cluster.stats
-    _report(windows, predictions, elapsed, stats, args.output)
+        health = cluster.health()
+    predictions = (
+        np.stack(results) if results
+        else np.empty((0,) + tuple(cluster.prediction_shape))
+    )
+    _report(len(results), predictions, elapsed, stats, args.output)
+    if args.deadline_s is not None or args.max_pending is not None:
+        print(f"admission: {rejected} rejected (overloaded), "
+              f"{shed} shed (deadline)")
+    print(
+        f"health: {health.num_alive}/{health.num_workers} workers live, "
+        f"{health.num_parked} parked, {health.total_restarts} restart(s), "
+        f"{health.redispatches} re-dispatch(es), generation {health.generation}"
+    )
     return 0
 
 
@@ -359,6 +409,10 @@ def main(argv=None) -> int:
         raise SystemExit("--requests must be >= 1")
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    if args.deadline_s is not None and args.deadline_s <= 0:
+        raise SystemExit("--deadline-s must be > 0")
+    if args.max_pending is not None and args.max_pending < 1:
+        raise SystemExit("--max-pending must be >= 1")
     if args.online:
         return _serve_online(args)
     if args.workers > 1:
@@ -383,11 +437,17 @@ def main(argv=None) -> int:
     windows = _load_windows(args, service.config)
     serve_start = time.perf_counter()
     with MicroBatcher.for_service(service, max_batch=args.max_batch,
-                                  max_wait_ms=args.max_wait_ms) as batcher:
-        futures = [batcher.submit(window) for window in windows]
-        predictions = np.stack([future.result() for future in futures])
+                                  max_wait_ms=args.max_wait_ms,
+                                  max_pending=args.max_pending) as batcher:
+        results, rejected, shed = _submit_and_gather(
+            batcher.submit, windows, args.deadline_s
+        )
     elapsed = time.perf_counter() - serve_start
-    _report(windows, predictions, elapsed, batcher.stats, args.output)
+    predictions = np.stack(results) if results else np.empty((0,))
+    _report(len(results), predictions, elapsed, batcher.stats, args.output)
+    if args.deadline_s is not None or args.max_pending is not None:
+        print(f"admission: {rejected} rejected (overloaded), "
+              f"{shed} shed (deadline)")
     return 0
 
 

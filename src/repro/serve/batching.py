@@ -22,6 +22,25 @@ import numpy as np
 _SHUTDOWN = object()
 
 
+class Overloaded(RuntimeError):
+    """Raised at submit time when the pending queue is at its watermark.
+
+    Typed rejection is admission control: under overload the server sheds
+    new work immediately instead of queueing it unboundedly and serving it
+    long after its deadline.  Callers can catch this and retry elsewhere
+    (the cluster fails over to a less-loaded worker) or surface it.
+    """
+
+
+class DeadlineExceeded(RuntimeError):
+    """Set on a future whose request expired before its batch ran.
+
+    The batching worker sheds expired requests *before* the kernel
+    forward, so a deadline miss costs a queue pop, never a wasted
+    inference.
+    """
+
+
 @dataclass
 class BatchStats:
     """Running counters of the batching worker (O(1) memory, server-lifetime safe).
@@ -40,6 +59,8 @@ class BatchStats:
     num_batches: int = 0
     max_batch_size: int = 0
     num_failed_batches: int = 0
+    num_expired: int = 0
+    num_rejected: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -53,16 +74,29 @@ class BatchStats:
             if failed:
                 self.num_failed_batches += 1
 
+    def record_expired(self, count: int = 1) -> None:
+        """Count requests shed at their deadline before reaching the kernel."""
+        with self._lock:
+            self.num_expired += count
+
+    def record_rejected(self, count: int = 1) -> None:
+        """Count requests rejected at the pending-queue watermark."""
+        with self._lock:
+            self.num_rejected += count
+
     def merge(self, other: "BatchStats") -> None:
         """Fold ``other``'s counters into this one (cluster-wide aggregation)."""
         with other._lock:
             requests, batches = other.num_requests, other.num_batches
             largest, failed = other.max_batch_size, other.num_failed_batches
+            expired, rejected = other.num_expired, other.num_rejected
         with self._lock:
             self.num_requests += requests
             self.num_batches += batches
             self.max_batch_size = max(self.max_batch_size, largest)
             self.num_failed_batches += failed
+            self.num_expired += expired
+            self.num_rejected += rejected
 
     @property
     def mean_batch_size(self) -> float:
@@ -97,6 +131,11 @@ class MicroBatcher:
         trailing channel of each window is the observation mask.  Only
         meaningful together with ``expected_channels``; gates the ``mask``
         argument of :meth:`submit`.
+    max_pending:
+        Admission-control watermark: the largest number of requests that
+        may be queued or forming a batch at once.  :meth:`submit` raises
+        :class:`Overloaded` beyond it instead of queueing unboundedly.
+        ``None`` (the default) keeps the queue unbounded.
 
     Use as a context manager, or call :meth:`close` to drain and stop::
 
@@ -115,6 +154,7 @@ class MicroBatcher:
         max_wait_ms: float = 2.0,
         expected_channels: int | None = None,
         mask_input: bool = False,
+        max_pending: int | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -122,14 +162,22 @@ class MicroBatcher:
             raise ValueError("max_wait_ms must be >= 0")
         if expected_channels is not None and expected_channels < 1:
             raise ValueError("expected_channels must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         self.predict_fn = predict_fn
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.expected_channels = expected_channels
         self.mask_input = bool(mask_input)
+        self.max_pending = max_pending
         self.stats = BatchStats()
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
+        # Admitted-but-unresolved request count for the watermark.  Guarded
+        # by its own lock (not _lifecycle) so the worker thread can decrement
+        # without contending with close().
+        self._pending = 0
+        self._pending_lock = threading.Lock()
         # Serialises submit() against close(): without it a thread could pass
         # the _closed check, lose the CPU while close() drains and joins the
         # worker, and then land its window on a dead queue — a Future that
@@ -196,7 +244,14 @@ class MicroBatcher:
             )
         return window
 
-    def submit(self, window: np.ndarray, mask: np.ndarray | None = None) -> Future:
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet resolved by the worker."""
+        with self._pending_lock:
+            return self._pending
+
+    def submit(self, window: np.ndarray, mask: np.ndarray | None = None,
+               deadline_s: float | None = None) -> Future:
         """Enqueue one history window ``(h, N, C)``; resolves to ``(f, N, ·)``.
 
         ``mask`` optionally supplies the observation mask ``(h, N)`` of a
@@ -209,21 +264,44 @@ class MicroBatcher:
         :meth:`for_service`), mis-shaped windows raise ``ValueError`` here
         instead of being silently misread by the model.
 
-        Raises ``RuntimeError`` once :meth:`close` has begun — late
-        submissions are rejected deterministically instead of being dropped.
+        ``deadline_s`` bounds how long the request may queue: if its batch
+        has not started ``deadline_s`` seconds from now, the future fails
+        with :class:`DeadlineExceeded` *without* running the kernel.
+
+        Raises :class:`Overloaded` when ``max_pending`` requests are
+        already queued, and ``RuntimeError`` once :meth:`close` has begun —
+        late submissions are rejected deterministically instead of being
+        dropped.
         """
         window = self._validate(np.asarray(window), mask)
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+        deadline = None if deadline_s is None else time.monotonic() + deadline_s
         with self._lifecycle:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
+            if self.max_pending is not None:
+                with self._pending_lock:
+                    if self._pending >= self.max_pending:
+                        self.stats.record_rejected()
+                        raise Overloaded(
+                            f"{self._pending} request(s) already pending "
+                            f"(watermark {self.max_pending}); shedding new work"
+                        )
+                    self._pending += 1
+            else:
+                with self._pending_lock:
+                    self._pending += 1
             future: Future = Future()
-            self._queue.put((window, future))
+            self._queue.put((window, future, deadline))
         return future
 
     def predict(self, window: np.ndarray, mask: np.ndarray | None = None,
-                timeout: float | None = None) -> np.ndarray:
+                timeout: float | None = None,
+                deadline_s: float | None = None) -> np.ndarray:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(window, mask=mask).result(timeout=timeout)
+        return self.submit(window, mask=mask,
+                           deadline_s=deadline_s).result(timeout=timeout)
 
     def close(self) -> None:
         """Stop accepting requests, drain the queue and join the worker.
@@ -264,6 +342,10 @@ class MicroBatcher:
             batch.append(item)
         return batch, False
 
+    def _retire(self, count: int) -> None:
+        with self._pending_lock:
+            self._pending -= count
+
     def _run(self) -> None:
         shutdown = False
         while not shutdown:
@@ -271,6 +353,7 @@ class MicroBatcher:
             if item is _SHUTDOWN:
                 break
             batch, shutdown = self._collect(item)
+            self._retire(len(batch))
             # Claim every future before the forward: a client that cancelled
             # while queued must be skipped — set_result/set_exception on a
             # CANCELLED future raises InvalidStateError, which would kill
@@ -278,8 +361,26 @@ class MicroBatcher:
             # successful claim the future is RUNNING and can no longer be
             # cancelled, so the resolution below is race-free.
             live = [
-                (window, future) for window, future in batch
+                (window, future, deadline) for window, future, deadline in batch
                 if future.set_running_or_notify_cancel()
+            ]
+            # Shed expired requests before the forward: a deadline miss must
+            # never cost a kernel inference on an answer nobody is waiting for.
+            now = time.monotonic()
+            expired = [
+                (window, future) for window, future, deadline in live
+                if deadline is not None and now > deadline
+            ]
+            for _, future in expired:
+                future.set_exception(DeadlineExceeded(
+                    "request deadline expired while queued; the batch was "
+                    "shed before running the kernel"
+                ))
+            if expired:
+                self.stats.record_expired(len(expired))
+            live = [
+                (window, future) for window, future, deadline in live
+                if deadline is None or now <= deadline
             ]
             if not live:
                 continue
@@ -303,9 +404,17 @@ class MicroBatcher:
                 break
             if item is _SHUTDOWN:
                 continue
-            window, future = item
+            window, future, deadline = item
+            self._retire(1)
             if not future.set_running_or_notify_cancel():
                 continue  # cancelled while queued
+            if deadline is not None and time.monotonic() > deadline:
+                future.set_exception(DeadlineExceeded(
+                    "request deadline expired while queued; the batch was "
+                    "shed before running the kernel"
+                ))
+                self.stats.record_expired()
+                continue
             try:
                 future.set_result(self.predict_fn(window[None])[0])
                 self.stats.record(1)

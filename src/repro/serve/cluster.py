@@ -13,7 +13,9 @@ the frozen index set), and fans requests over them:
   ``slots × max_batch`` windows/predictions.  ``(B, h, N, C)`` batches cross
   the process boundary as raw buffer copies; only a tiny ``(seq, slot,
   batch)`` header travels over the control pipe, so nothing is ever pickled
-  on the hot path.
+  on the hot path.  Every response carries a CRC-32 of its ring slot, so a
+  corrupted copy is a typed :class:`RingCorruptionError`, never a silently
+  wrong forecast.
 * **Per-worker micro-batching** — the front door routes each submitted
   window round-robin into one :class:`~repro.serve.MicroBatcher` per worker,
   so request coalescing (and its amortisation of per-forward overhead)
@@ -21,11 +23,26 @@ the frozen index set), and fans requests over them:
 * **An asyncio front door** — :meth:`submit` returns a
   :class:`concurrent.futures.Future`; :meth:`predict_async` /
   :meth:`serve_async` wrap them for ``await``-style fan-out/gather.
-* **Liveness** — workers heartbeat over the control pipe and exit when the
-  parent disappears; the front door detects a dead worker mid-batch
-  (pipe EOF, process exit, or request timeout), re-dispatches the batch
-  once to a live peer, and otherwise fails the batch's futures with a
-  descriptive :class:`WorkerDiedError` — pending futures never hang.
+* **Liveness and supervision** — workers heartbeat over the control pipe
+  and exit when the parent disappears; the front door detects a dead
+  worker mid-batch (pipe EOF, process exit, or request timeout),
+  re-dispatches the batch at most once to a live peer (never when the
+  batch may have executed — at-most-once), and otherwise fails the
+  batch's futures with a descriptive :class:`WorkerDiedError` — pending
+  futures never hang.  A supervisor thread respawns dead workers from the
+  bundle with exponential backoff; a crash-looping worker (``max_crash_loop``
+  rapid failures) is *parked* and the cluster degrades to the surviving
+  pool.  :meth:`health` reports the whole picture as a structured
+  :class:`ClusterHealth` snapshot.
+* **Admission control** — ``submit(..., deadline_s=)`` sheds requests whose
+  deadline expires while queued *before* they reach a kernel, and
+  ``max_pending`` bounds each worker's queue, rejecting excess work with a
+  typed :class:`~repro.serve.batching.Overloaded` error (after trying every
+  live worker) instead of queueing unboundedly.
+* **Deterministic fault injection** — a seeded
+  :class:`~repro.serve.faults.FaultPlan` schedules worker kills, stalls,
+  ring corruption and slow batches at exact job ordinals, so chaos
+  scenarios replay identically run after run.  The default is a no-op.
 
 Shared-memory transport is **same-host only**: workers must run on the
 machine that created the rings.  The pool replicates the full graph for
@@ -48,16 +65,20 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import os
+import signal
 import threading
 import time
 import traceback
+import zlib
 from concurrent.futures import Future
+from dataclasses import dataclass
 from multiprocessing import shared_memory
 from pathlib import Path
 
 import numpy as np
 
-from repro.serve.batching import BatchStats, MicroBatcher
+from repro.serve.batching import BatchStats, MicroBatcher, Overloaded
+from repro.serve.faults import FaultInjector, FaultPlan, corrupt_ring_slot
 from repro.utils.checkpoint import load_bundle
 
 # BLAS pools are capped per worker *before* the child imports numpy: a
@@ -77,7 +98,88 @@ class ClusterError(RuntimeError):
 
 
 class WorkerDiedError(ClusterError):
-    """A worker process died (or stopped responding) with requests in flight."""
+    """A worker process died (or stopped responding) with requests in flight.
+
+    ``may_have_executed`` distinguishes the two failure classes the retry
+    policy cares about: a worker whose *process is gone* (pipe EOF, exit)
+    can never deliver its result, so the batch is safe to re-dispatch once;
+    a worker that merely *timed out while still running* may complete the
+    forward late, so at-most-once forbids retrying it.
+    """
+
+    def __init__(self, message: str, may_have_executed: bool = False):
+        super().__init__(message)
+        self.may_have_executed = may_have_executed
+
+
+class RingCorruptionError(ClusterError):
+    """A response failed its ring CRC check — the shared-memory copy is bad.
+
+    The request *did* execute (the worker computed and checksummed a real
+    prediction), so it is never re-dispatched; the caller sees the typed
+    error instead of silently wrong numbers.
+    """
+
+
+@dataclass
+class WorkerHealth:
+    """Liveness snapshot of one worker slot."""
+
+    worker_id: int
+    state: str  # "live" | "down" | "parked"
+    pid: int | None
+    restarts: int
+    consecutive_failures: int
+    backoff_remaining_s: float
+    heartbeat_age_s: float | None
+    pending: int
+
+    def to_dict(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "state": self.state,
+            "pid": self.pid,
+            "restarts": self.restarts,
+            "consecutive_failures": self.consecutive_failures,
+            "backoff_remaining_s": round(self.backoff_remaining_s, 3),
+            "heartbeat_age_s": (
+                None if self.heartbeat_age_s is None
+                else round(self.heartbeat_age_s, 3)
+            ),
+            "pending": self.pending,
+        }
+
+
+@dataclass
+class ClusterHealth:
+    """Structured cluster-wide health: pool strength, restarts, backlog."""
+
+    num_workers: int
+    num_alive: int
+    num_parked: int
+    total_restarts: int
+    redispatches: int
+    generation: int
+    pending: int
+    workers: list
+
+    @property
+    def degraded(self) -> bool:
+        """True when any worker slot is down or parked."""
+        return self.num_alive < self.num_workers
+
+    def to_dict(self) -> dict:
+        return {
+            "num_workers": self.num_workers,
+            "num_alive": self.num_alive,
+            "num_parked": self.num_parked,
+            "degraded": self.degraded,
+            "total_restarts": self.total_restarts,
+            "redispatches": self.redispatches,
+            "generation": self.generation,
+            "pending": self.pending,
+            "workers": [worker.to_dict() for worker in self.workers],
+        }
 
 
 def _geometry(config: dict, dtype: str) -> tuple[tuple, tuple, np.dtype]:
@@ -121,12 +223,19 @@ def _worker_main(
     dtype_str: str,
     heartbeat_interval_s: float,
     service_kwargs: dict,
+    fault_schedule: dict | None = None,
 ) -> None:
     """Worker process: rehydrate the bundle once, then serve ring batches.
 
     Exits on a ``stop`` message, on control-pipe EOF, or when the parent
     process disappears between heartbeats — an orphaned worker must never
     linger on a serving host.
+
+    ``fault_schedule`` (``{job_ordinal: FaultEvent}``) drives deterministic
+    chaos: a scheduled *kill* SIGKILLs the process before serving that job,
+    *stall*/*slow* sleep before the forward, and *corrupt* overwrites the
+    response ring slot after the CRC was computed, so the parent observes a
+    checksum mismatch.  ``None`` (production) injects nothing.
     """
     request_shm = response_shm = None
     try:
@@ -150,6 +259,7 @@ def _worker_main(
             (slots, max_batch) + tuple(prediction_shape), dtype=dtype,
             buffer=response_shm.buf,
         )
+        injector = FaultInjector(fault_schedule)
         conn.send(("ready", os.getpid()))
     except Exception:
         try:
@@ -198,10 +308,24 @@ def _worker_main(
                     break
                 continue
             _, seq, slot, batch = message
+            event = injector.next_event()
+            if event is not None and event.kind == "kill":
+                # Scheduled chaos: die exactly as a crashed worker would —
+                # no reply, no cleanup, SIGKILL semantics.
+                os.kill(os.getpid(), signal.SIGKILL)
+            if event is not None and event.kind in ("stall", "slow"):
+                # A stall also starves the heartbeat: the worker is wedged
+                # before the forward, exactly like a hung kernel.
+                time.sleep(event.duration_s)
             try:
                 predictions = service.predict(requests[slot, :batch])
                 responses[slot, :batch] = predictions
-                reply = ("ok", seq, slot, batch)
+                checksum = zlib.crc32(
+                    np.ascontiguousarray(responses[slot, :batch]).tobytes()
+                )
+                if event is not None and event.kind == "corrupt":
+                    corrupt_ring_slot(responses[slot, :batch])
+                reply = ("ok", seq, slot, batch, checksum)
             except Exception:
                 reply = ("err", seq, traceback.format_exc(limit=8))
             try:
@@ -221,7 +345,7 @@ class _WorkerChannel:
                  max_batch: int, window_shape: tuple, prediction_shape: tuple,
                  dtype: np.dtype, request_timeout_s: float,
                  heartbeat_interval_s: float, blas_threads: int | None,
-                 service_kwargs: dict):
+                 service_kwargs: dict, fault_schedule: dict | None = None):
         self.worker_id = worker_id
         self.slots = slots
         self.max_batch = max_batch
@@ -235,42 +359,94 @@ class _WorkerChannel:
         # seq, slot, batch) around every ring round-trip.  Tests use it to
         # assert the no-slot-reuse-while-unread invariant under wraparound.
         self.trace = None
+        # Spawn parameters kept for supervised respawn.
+        self._ctx = ctx
+        self._bundle_path = str(bundle_path)
+        self._window_shape = tuple(window_shape)
+        self._prediction_shape = tuple(prediction_shape)
+        self._dtype = dtype
+        self._heartbeat_interval_s = heartbeat_interval_s
+        self._blas_threads = blas_threads
+        self._service_kwargs = service_kwargs
+        # Supervisor bookkeeping (owned by the cluster's supervisor thread).
+        self.restarts = 0
+        self.consecutive_failures = 0
+        self.parked = False
+        self.next_restart_at: float | None = None
+        self.started_at: float | None = None
 
-        window_bytes = int(np.prod(window_shape)) * dtype.itemsize
-        prediction_bytes = int(np.prod(prediction_shape)) * dtype.itemsize
-        self.request_shm = shared_memory.SharedMemory(
-            create=True, size=max(1, slots * max_batch * window_bytes)
-        )
-        self.response_shm = shared_memory.SharedMemory(
-            create=True, size=max(1, slots * max_batch * prediction_bytes)
-        )
-        self.request_view = np.ndarray(
-            (slots, max_batch) + tuple(window_shape), dtype=dtype,
-            buffer=self.request_shm.buf,
-        )
-        self.response_view = np.ndarray(
-            (slots, max_batch) + tuple(prediction_shape), dtype=dtype,
-            buffer=self.response_shm.buf,
-        )
+        # Partial-creation cleanup: if anything past the first allocation
+        # fails (the second ring, the pipe, the spawn itself), release what
+        # exists before re-raising — a failed worker slot must never leak
+        # shared-memory segments or a half-started process.
+        self.request_shm = self.response_shm = None
+        self.conn = None
+        self.process = None
+        try:
+            window_bytes = int(np.prod(window_shape)) * dtype.itemsize
+            prediction_bytes = int(np.prod(prediction_shape)) * dtype.itemsize
+            self.request_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, slots * max_batch * window_bytes)
+            )
+            self.response_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, slots * max_batch * prediction_bytes)
+            )
+            self.request_view = np.ndarray(
+                (slots, max_batch) + tuple(window_shape), dtype=dtype,
+                buffer=self.request_shm.buf,
+            )
+            self.response_view = np.ndarray(
+                (slots, max_batch) + tuple(prediction_shape), dtype=dtype,
+                buffer=self.response_shm.buf,
+            )
+            self._spawn(fault_schedule)
+        except Exception:
+            self._release_partial()
+            raise
 
-        self.conn, child_conn = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(
+    def _release_partial(self) -> None:
+        """Best-effort cleanup of whatever the constructor managed to create."""
+        if self.process is not None and self.process.is_alive():
+            try:
+                self.process.kill()
+                self.process.join(2.0)
+            except Exception:
+                pass
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except Exception:
+                pass
+        for shm in (self.request_shm, self.response_shm):
+            if shm is None:
+                continue
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+
+    def _spawn(self, fault_schedule: dict | None = None) -> None:
+        """Create the control pipe and start a fresh worker process."""
+        self.conn, child_conn = self._ctx.Pipe(duplex=True)
+        self.process = self._ctx.Process(
             target=_worker_main,
-            name=f"repro-serve-worker-{worker_id}",
-            args=(worker_id, str(bundle_path), child_conn,
+            name=f"repro-serve-worker-{self.worker_id}",
+            args=(self.worker_id, self._bundle_path, child_conn,
                   self.request_shm.name, self.response_shm.name,
-                  slots, max_batch, tuple(window_shape),
-                  tuple(prediction_shape), dtype.str,
-                  heartbeat_interval_s, service_kwargs),
+                  self.slots, self.max_batch, self._window_shape,
+                  self._prediction_shape, self._dtype.str,
+                  self._heartbeat_interval_s, self._service_kwargs,
+                  fault_schedule),
             daemon=True,
         )
         # Cap the replica's BLAS pool before numpy is imported in the child
         # (the env is captured at spawn time).
         saved_env: dict[str, str | None] = {}
-        if blas_threads is not None:
+        if self._blas_threads is not None:
             for var in _BLAS_ENV_VARS:
                 saved_env[var] = os.environ.get(var)
-                os.environ[var] = str(blas_threads)
+                os.environ[var] = str(self._blas_threads)
         try:
             self.process.start()
         finally:
@@ -303,6 +479,7 @@ class _WorkerChannel:
                 if message[0] == "ready":
                     self.alive = True
                     self.last_heartbeat = time.monotonic()
+                    self.started_at = time.monotonic()
                     return
                 if message[0] == "fatal":
                     raise ClusterError(
@@ -317,6 +494,45 @@ class _WorkerChannel:
 
     def _mark_dead(self) -> None:
         self.alive = False
+
+    def poll_liveness(self, heartbeat_timeout_s: float) -> bool:
+        """Idle-path death detection; returns whether the worker is alive.
+
+        Non-blocking on the dispatch lock: a worker with a batch in flight
+        is policed by :meth:`predict`'s own timeout, so a busy channel is
+        simply reported as alive.  When idle, drains heartbeats (and any
+        stale replies of abandoned round-trips), then checks pipe EOF,
+        process exit, and heartbeat staleness.
+        """
+        if not self.alive:
+            return False
+        if not self._dispatch_lock.acquire(blocking=False):
+            return True
+        try:
+            try:
+                while self.conn.poll(0):
+                    message = self.conn.recv()
+                    if message[0] == "hb":
+                        self.last_heartbeat = time.monotonic()
+                    elif message[0] == "fatal":
+                        self._mark_dead()
+                        return False
+                    # stale ok/err replies of a timed-out dispatch are
+                    # dropped here so they never alias a later round-trip
+            except (EOFError, BrokenPipeError, OSError):
+                self._mark_dead()
+                return False
+            if not self.process.is_alive():
+                self._mark_dead()
+                return False
+            if (self.last_heartbeat is not None
+                    and time.monotonic() - self.last_heartbeat
+                    > heartbeat_timeout_s):
+                self._mark_dead()
+                return False
+            return True
+        finally:
+            self._dispatch_lock.release()
 
     def predict(self, windows: np.ndarray) -> np.ndarray:
         """One batched round-trip through the rings (serialised per worker)."""
@@ -352,7 +568,8 @@ class _WorkerChannel:
                     raise WorkerDiedError(
                         f"worker {self.worker_id} did not answer within "
                         f"{self.request_timeout_s:.0f} s (batch of {batch} "
-                        "in flight)"
+                        "in flight)",
+                        may_have_executed=True,
                     )
                 if self.conn.poll(min(0.1, remaining)):
                     try:
@@ -368,12 +585,23 @@ class _WorkerChannel:
                         self.last_heartbeat = message[1]
                         continue
                     if kind == "ok":
-                        _, r_seq, r_slot, r_batch = message
+                        _, r_seq, r_slot, r_batch, checksum = message
                         if r_seq != seq:
                             continue  # stale answer from a superseded dispatch
                         result = np.array(
                             self.response_view[r_slot, :r_batch], copy=True
                         )
+                        actual = zlib.crc32(
+                            np.ascontiguousarray(result).tobytes()
+                        )
+                        if actual != checksum:
+                            raise RingCorruptionError(
+                                f"worker {self.worker_id} response failed its "
+                                f"ring CRC check (slot {r_slot}, batch "
+                                f"{r_batch}): the shared-memory copy is "
+                                "corrupt; the request executed and is not "
+                                "retried"
+                            )
                         if self.trace is not None:
                             self.trace("complete", seq, slot, batch)
                         return result
@@ -425,7 +653,8 @@ class _WorkerChannel:
                     self._mark_dead()
                     raise WorkerDiedError(
                         f"worker {self.worker_id} did not acknowledge the "
-                        f"swap within {self.request_timeout_s:.0f} s"
+                        f"swap within {self.request_timeout_s:.0f} s",
+                        may_have_executed=True,
                     )
                 if self.conn.poll(min(0.1, remaining)):
                     try:
@@ -464,9 +693,8 @@ class _WorkerChannel:
                         f"(exitcode {self.process.exitcode})"
                     )
 
-    def shutdown(self, join_timeout_s: float = 10.0) -> None:
-        """Stop the worker and release the rings (idempotent, never raises)."""
-        self.alive = False
+    def _close_process(self, join_timeout_s: float = 10.0) -> None:
+        """Stop the worker process and close the pipe (never raises)."""
         try:
             self.conn.send(("stop",))
         except Exception:
@@ -482,7 +710,29 @@ class _WorkerChannel:
             self.conn.close()
         except Exception:
             pass
+
+    def respawn(self, start_timeout_s: float,
+                fault_schedule: dict | None = None) -> None:
+        """Replace a dead worker with a fresh process on the same rings.
+
+        The rings are parent-owned and intact across a worker death, so the
+        replacement simply re-attaches to them.  Holding the dispatch lock
+        for the whole dispose-spawn-ready sequence keeps any concurrent
+        :meth:`predict` from observing a half-replaced channel.
+        """
+        with self._dispatch_lock:
+            self.alive = False
+            self._close_process(join_timeout_s=2.0)
+            self._spawn(fault_schedule)
+            self.wait_ready(start_timeout_s)
+
+    def shutdown(self, join_timeout_s: float = 10.0) -> None:
+        """Stop the worker and release the rings (idempotent, never raises)."""
+        self.alive = False
+        self._close_process(join_timeout_s)
         for shm in (self.request_shm, self.response_shm):
+            if shm is None:
+                continue
             try:
                 shm.close()
                 shm.unlink()
@@ -514,7 +764,9 @@ class ServingCluster:
         and leaves room for pipelined dispatch.
     request_timeout_s:
         Hard deadline for one batched round-trip; a worker that exceeds it
-        is declared dead and its batch re-dispatched or failed.
+        is declared dead.  Its batch is *not* re-dispatched (the late
+        worker may still complete the forward — at-most-once), unlike a
+        batch lost to process death, which retries once on a live peer.
     heartbeat_interval_s:
         Idle-worker heartbeat period; also how often an orphaned worker
         checks that its parent still exists.
@@ -531,6 +783,34 @@ class ServingCluster:
         :mod:`multiprocessing` start method.  The default ``"spawn"`` gives
         every worker a clean interpreter (fresh BLAS pools, no inherited
         locks); ``"fork"`` starts faster but is unsafe under threads.
+    supervise:
+        Run the supervisor thread (default).  ``False`` restores the
+        PR-8 behaviour: a dead worker permanently shrinks the pool.
+    supervise_interval_s:
+        Supervisor polling period.
+    restart_backoff_s / restart_backoff_ceiling_s:
+        Exponential-backoff schedule for respawning a dead worker: the
+        n-th consecutive failure waits ``restart_backoff_s * 2**(n-1)``
+        seconds, capped at the ceiling.
+    max_crash_loop:
+        Circuit breaker: after this many *rapid* consecutive failures
+        (each within ``rapid_fail_window_s`` of its spawn) the worker slot
+        is parked — no further respawns — and the cluster degrades to the
+        surviving pool.  A worker that stays up longer than the window
+        resets its failure count.
+    heartbeat_timeout_s:
+        Idle heartbeat staleness beyond which the supervisor declares a
+        worker dead (a wedged-but-running process).  Defaults to
+        ``max(5 * heartbeat_interval_s, 5.0)``.
+    max_pending:
+        Per-worker admission watermark forwarded to each
+        :class:`MicroBatcher`; :meth:`submit` tries every live worker and
+        raises :class:`~repro.serve.batching.Overloaded` when all are at
+        their watermark.  ``None`` keeps queues unbounded.
+    fault_plan:
+        A :class:`~repro.serve.faults.FaultPlan` scheduling deterministic
+        worker kills/stalls/corruption/slow batches for chaos testing.
+        ``None`` (production) injects nothing.
 
     Submitting returns :class:`concurrent.futures.Future`\\ s; asyncio
     callers use :meth:`predict_async` / :meth:`serve_async`.  Use as a
@@ -554,11 +834,35 @@ class ServingCluster:
         chunk_size: int | None = None,
         memory_budget_mb: float | None = None,
         mp_context: str = "spawn",
+        supervise: bool = True,
+        supervise_interval_s: float = 0.2,
+        restart_backoff_s: float = 0.5,
+        restart_backoff_ceiling_s: float = 8.0,
+        max_crash_loop: int = 3,
+        rapid_fail_window_s: float = 30.0,
+        heartbeat_timeout_s: float | None = None,
+        max_pending: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if slots < 1:
             raise ValueError("slots must be >= 1")
+        if supervise_interval_s <= 0:
+            raise ValueError("supervise_interval_s must be > 0")
+        if restart_backoff_s <= 0 or restart_backoff_ceiling_s < restart_backoff_s:
+            raise ValueError(
+                "restart_backoff_s must be > 0 and <= restart_backoff_ceiling_s"
+            )
+        if max_crash_loop < 1:
+            raise ValueError("max_crash_loop must be >= 1")
+        if rapid_fail_window_s <= 0:
+            raise ValueError("rapid_fail_window_s must be > 0")
+        if fault_plan is not None and fault_plan.workers < workers:
+            raise ValueError(
+                f"fault plan covers {fault_plan.workers} worker(s) but the "
+                f"cluster has {workers}"
+            )
         self.bundle_path = Path(bundle_path)
         bundle = load_bundle(self.bundle_path)
         window_shape, prediction_shape, dtype = _geometry(
@@ -577,11 +881,25 @@ class ServingCluster:
         )
         self._generation = 0
         self._swap_lock = threading.Lock()
+        self.start_timeout_s = start_timeout_s
+        self.supervise_interval_s = supervise_interval_s
+        self.restart_backoff_s = restart_backoff_s
+        self.restart_backoff_ceiling_s = restart_backoff_ceiling_s
+        self.max_crash_loop = max_crash_loop
+        self.rapid_fail_window_s = rapid_fail_window_s
+        self.heartbeat_timeout_s = (
+            max(5.0 * heartbeat_interval_s, 5.0)
+            if heartbeat_timeout_s is None else heartbeat_timeout_s
+        )
+        self.fault_plan = fault_plan
 
         service_kwargs = {
             "backend": backend,
             "chunk_size": chunk_size,
             "memory_budget_mb": memory_budget_mb,
+            # The parent verified the bundle digest just above; workers
+            # rehydrating the same file need not re-hash it.
+            "verify_digest": False,
         }
         ctx = multiprocessing.get_context(mp_context)
         self._channels: list[_WorkerChannel] = []
@@ -589,14 +907,21 @@ class ServingCluster:
         self._closed = False
         self._rr = 0
         self._rr_lock = threading.Lock()
+        self._redispatches = 0
+        self._stop_supervisor = threading.Event()
+        self._supervisor: threading.Thread | None = None
         try:
             for worker_id in range(workers):
+                schedule = (
+                    fault_plan.schedule_for(worker_id)
+                    if fault_plan is not None else None
+                )
                 self._channels.append(
                     _WorkerChannel(
                         worker_id, ctx, str(self.bundle_path), slots,
                         max_batch, window_shape, prediction_shape, dtype,
                         request_timeout_s, heartbeat_interval_s,
-                        blas_threads, service_kwargs,
+                        blas_threads, service_kwargs, schedule,
                     )
                 )
             for channel in self._channels:
@@ -608,10 +933,120 @@ class ServingCluster:
                     max_wait_ms=max_wait_ms,
                     expected_channels=self.expected_channels,
                     mask_input=self.mask_input,
+                    max_pending=max_pending,
                 )
         except Exception:
             self._teardown()
             raise
+        if supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="cluster-supervisor", daemon=True
+            )
+            self._supervisor.start()
+
+    # ------------------------------------------------------------------ #
+    # Supervision
+    # ------------------------------------------------------------------ #
+    def _register_failure(self, channel: _WorkerChannel, now: float) -> None:
+        """Schedule a backoff restart, or park a crash-looping worker."""
+        if (channel.started_at is not None
+                and now - channel.started_at > self.rapid_fail_window_s):
+            # The worker served fine for a while before dying: not a crash
+            # loop, start the backoff ladder from the bottom again.
+            channel.consecutive_failures = 0
+        channel.consecutive_failures += 1
+        if channel.consecutive_failures >= self.max_crash_loop:
+            channel.parked = True
+            channel.next_restart_at = None
+            return
+        delay = min(
+            self.restart_backoff_s * 2 ** (channel.consecutive_failures - 1),
+            self.restart_backoff_ceiling_s,
+        )
+        channel.next_restart_at = now + delay
+
+    def _respawn_channel(self, channel: _WorkerChannel) -> None:
+        """One supervised respawn attempt, including generation catch-up."""
+        schedule = None
+        if self.fault_plan is not None and self.fault_plan.repeat_on_respawn:
+            schedule = self.fault_plan.schedule_for(channel.worker_id)
+        channel.respawn(self.start_timeout_s, schedule)
+        channel.restarts += 1
+        channel.next_restart_at = None
+        # A replacement spawned after a hot-swap must serve the *current*
+        # graph, not the bundle's frozen one.
+        if self._generation > 0 and self.index_set is not None:
+            with self._swap_lock:
+                channel.swap(self.index_set)
+
+    def _supervise(self) -> None:
+        """Detect dead workers and respawn them with backoff + circuit breaker."""
+        while not self._stop_supervisor.wait(self.supervise_interval_s):
+            for channel in self._channels:
+                if self._closed or self._stop_supervisor.is_set():
+                    return
+                if channel.parked:
+                    continue
+                try:
+                    if channel.alive and channel.poll_liveness(
+                            self.heartbeat_timeout_s):
+                        continue
+                    now = time.monotonic()
+                    if channel.next_restart_at is None:
+                        self._register_failure(channel, now)
+                        continue
+                    if now < channel.next_restart_at:
+                        continue
+                    try:
+                        self._respawn_channel(channel)
+                    except Exception:
+                        self._register_failure(channel, time.monotonic())
+                except Exception:
+                    # The supervisor must survive anything (a channel torn
+                    # down under it during close(), a poll on a dead pipe).
+                    continue
+
+    def health(self) -> ClusterHealth:
+        """Structured liveness snapshot of the pool (JSON-safe via to_dict)."""
+        now = time.monotonic()
+        workers = []
+        for channel in self._channels:
+            if channel.parked:
+                state = "parked"
+            elif channel.alive:
+                state = "live"
+            else:
+                state = "down"
+            backoff_remaining = 0.0
+            if not channel.alive and channel.next_restart_at is not None:
+                backoff_remaining = max(0.0, channel.next_restart_at - now)
+            heartbeat_age = None
+            if channel.alive and channel.last_heartbeat is not None:
+                heartbeat_age = max(0.0, now - channel.last_heartbeat)
+            pid = channel.process.pid if channel.process is not None else None
+            pending = channel.batcher.pending if channel.batcher else 0
+            workers.append(WorkerHealth(
+                worker_id=channel.worker_id,
+                state=state,
+                pid=pid,
+                restarts=channel.restarts,
+                consecutive_failures=channel.consecutive_failures,
+                backoff_remaining_s=backoff_remaining,
+                heartbeat_age_s=heartbeat_age,
+                pending=pending,
+            ))
+        with self._rr_lock:
+            redispatches = self._redispatches
+        return ClusterHealth(
+            num_workers=len(self._channels),
+            num_alive=sum(1 for w in workers if w.state == "live"),
+            num_parked=sum(1 for w in workers if w.state == "parked"),
+            total_restarts=sum(w.restarts for w in workers),
+            redispatches=redispatches,
+            generation=self._generation,
+            pending=sum(w.pending for w in workers),
+            workers=workers,
+        )
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -631,23 +1066,32 @@ class ServingCluster:
     def _make_predict_fn(self, channel: _WorkerChannel):
         """The per-worker batched dispatch, with one re-dispatch on death.
 
-        A worker that dies mid-batch loses nothing but time: the batch is
-        retried once on a live peer (direct dispatch — the peer's own lock
-        serialises it against its micro-batcher).  With no live peer left
-        the batch's futures fail with a descriptive error instead of
-        hanging.
+        A worker whose process died mid-batch loses nothing but time: the
+        batch is retried once on a live peer (direct dispatch — the peer's
+        own lock serialises it against its micro-batcher).  A worker that
+        merely *timed out* may still complete the forward, so at-most-once
+        forbids the retry and the batch fails with a descriptive error.
+        With no live peer left the batch's futures fail instead of hanging.
         """
 
         def predict(windows: np.ndarray) -> np.ndarray:
             try:
                 return channel.predict(windows)
             except WorkerDiedError as error:
+                if error.may_have_executed:
+                    raise ClusterError(
+                        f"batch of {windows.shape[0]} timed out on worker "
+                        f"{channel.worker_id} and may still execute; "
+                        "not re-dispatching (at-most-once)"
+                    ) from error
                 peer = self._pick_channel(exclude=channel)
                 if peer is None:
                     raise ClusterError(
                         f"batch of {windows.shape[0]} failed: {error}; "
                         "no live worker left to re-dispatch to"
                     ) from error
+                with self._rr_lock:
+                    self._redispatches += 1
                 return peer.predict(windows)
 
         return predict
@@ -655,41 +1099,62 @@ class ServingCluster:
     # ------------------------------------------------------------------ #
     # Front door
     # ------------------------------------------------------------------ #
-    def submit(self, window: np.ndarray, mask: np.ndarray | None = None) -> Future:
+    def submit(self, window: np.ndarray, mask: np.ndarray | None = None,
+               deadline_s: float | None = None) -> Future:
         """Enqueue one ``(h, N, C)`` window; resolves to ``(f, N, ·)``.
 
-        Routed round-robin into one worker's micro-batcher.  ``mask``
-        follows the :meth:`MicroBatcher.submit` contract for mask-aware
-        bundles.  Raises ``RuntimeError`` after :meth:`close` and
-        :class:`ClusterError` when every worker is dead.
+        Routed round-robin into one worker's micro-batcher.  ``mask`` and
+        ``deadline_s`` follow the :meth:`MicroBatcher.submit` contract.
+        Under ``max_pending`` pressure, a worker at its watermark is
+        skipped for the next live one; when *every* live worker is
+        saturated the submission is rejected with a typed
+        :class:`~repro.serve.batching.Overloaded` error.  Raises
+        ``RuntimeError`` after :meth:`close` and :class:`ClusterError`
+        when every worker is dead.
         """
         with self._lifecycle:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed ServingCluster")
-        channel = self._pick_channel()
-        if channel is None:
-            raise ClusterError("no live workers in the cluster")
-        return channel.batcher.submit(window, mask=mask)
+        last_error: Overloaded | None = None
+        for _ in range(len(self._channels)):
+            channel = self._pick_channel()
+            if channel is None:
+                raise ClusterError("no live workers in the cluster")
+            try:
+                return channel.batcher.submit(window, mask=mask,
+                                              deadline_s=deadline_s)
+            except Overloaded as error:
+                last_error = error
+        raise Overloaded(
+            "every live worker is at its pending watermark; shedding new work"
+        ) from last_error
 
     def predict(self, window: np.ndarray, mask: np.ndarray | None = None,
-                timeout: float | None = None) -> np.ndarray:
+                timeout: float | None = None,
+                deadline_s: float | None = None) -> np.ndarray:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(window, mask=mask).result(timeout=timeout)
+        return self.submit(window, mask=mask,
+                           deadline_s=deadline_s).result(timeout=timeout)
 
     async def predict_async(self, window: np.ndarray,
-                            mask: np.ndarray | None = None) -> np.ndarray:
+                            mask: np.ndarray | None = None,
+                            deadline_s: float | None = None) -> np.ndarray:
         """Awaitable single-window forecast (asyncio front door)."""
-        return await asyncio.wrap_future(self.submit(window, mask=mask))
+        return await asyncio.wrap_future(
+            self.submit(window, mask=mask, deadline_s=deadline_s)
+        )
 
     async def serve_async(self, windows: np.ndarray,
-                          masks: np.ndarray | None = None) -> np.ndarray:
+                          masks: np.ndarray | None = None,
+                          deadline_s: float | None = None) -> np.ndarray:
         """Fan ``(R, h, N, C)`` requests across the pool and gather ``(R, f, N, ·)``.
 
         Submission happens up front (so micro-batches can coalesce across
         the whole burst); the gather preserves request order.
         """
         futures = [
-            self.submit(window, mask=None if masks is None else masks[i])
+            self.submit(window, mask=None if masks is None else masks[i],
+                        deadline_s=deadline_s)
             for i, window in enumerate(windows)
         ]
         results = await asyncio.gather(
@@ -711,8 +1176,10 @@ class ServingCluster:
         generation; batches submitted after it serve from the new one.  A
         worker that dies mid-swap is marked dead (its batches re-dispatch
         as usual) — the swap succeeds as long as one worker remains, and
-        raises :class:`ClusterError` otherwise.  Returns the cluster's new
-        generation.
+        raises :class:`ClusterError` otherwise.  A supervised respawn
+        re-applies the newest generation before the replacement rejoins the
+        pool, so a swap is never silently undone by a restart.  Returns the
+        cluster's new generation.
         """
         with self._lifecycle:
             if self._closed:
@@ -748,6 +1215,10 @@ class ServingCluster:
     @property
     def alive_workers(self) -> int:
         return sum(1 for channel in self._channels if channel.alive)
+
+    @property
+    def parked_workers(self) -> int:
+        return sum(1 for channel in self._channels if channel.parked)
 
     @property
     def stats(self) -> BatchStats:
@@ -788,6 +1259,9 @@ class ServingCluster:
             if self._closed:
                 return
             self._closed = True
+        self._stop_supervisor.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10.0)
         self._teardown()
 
     def __enter__(self) -> "ServingCluster":

@@ -33,6 +33,7 @@ multi-worker :class:`~repro.serve.ServingCluster` identically.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -423,6 +424,13 @@ class StreamingSession:
         Raises ``RuntimeError`` until ``history`` rows have been pushed.
         The forecast is also queued for scoring against the observations
         that arrive next (see :attr:`metrics`).
+
+        Fault tolerance: the session mutates nothing until the predict
+        succeeds, so a failed forward (a cluster worker dying mid-stream, a
+        typed overload/deadline error) raises to the caller and leaves the
+        history ring, pending-score queue and counters exactly as they
+        were — the next :meth:`forecast` on the recovered pool serves the
+        same window.
         """
         window = self.window()
         mask = self.mask_window()
@@ -460,6 +468,18 @@ class SessionManager:
         and pre-v3 scaler statistics cannot be extended at all.
     null_value:
         Missing-value convention of the live accuracy metrics.
+    max_sessions:
+        Session-registry capacity.  Beyond it the least-recently-used
+        session is evicted (its metrics are merged into the manager's
+        evicted accumulator first, so :meth:`metrics` never loses scored
+        forecasts).  ``None`` keeps the registry unbounded — an endless
+        stream of one-shot clients will then grow RSS forever.
+    session_ttl_s:
+        Idle time after which a session is evicted on the next registry
+        access (same metrics-preserving drop).  ``None`` disables the TTL.
+    clock:
+        Monotonic time source for TTL/LRU bookkeeping (injectable for
+        deterministic tests).
     """
 
     def __init__(
@@ -470,7 +490,14 @@ class SessionManager:
         drift: DriftConfig | dict | None = None,
         update_scaler: bool = False,
         null_value: float | None = 0.0,
+        max_sessions: int | None = None,
+        session_ttl_s: float | None = None,
+        clock=time.monotonic,
     ):
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if session_ttl_s is not None and session_ttl_s <= 0:
+            raise ValueError("session_ttl_s must be > 0")
         self.target = target
         self.config = dict(config)
         self.scaler = scaler
@@ -503,8 +530,18 @@ class SessionManager:
             self.monitor = DriftMonitor.from_model_config(
                 target, self.config, frozen, config=drift
             )
+        # Insertion order doubles as the LRU order: a touched session is
+        # re-inserted at the end, so the first key is always the coldest.
         self._sessions: dict[str, StreamingSession] = {}
+        self._last_used: dict[str, float] = {}
         self._lock = threading.Lock()
+        self.max_sessions = max_sessions
+        self.session_ttl_s = session_ttl_s
+        self._clock = clock
+        self.num_evicted = 0
+        self._evicted_metrics = StreamingMetrics(
+            null_value=null_value, quantiles=self.quantiles
+        )
 
     @staticmethod
     def _target_index_set(target) -> np.ndarray | None:
@@ -524,6 +561,8 @@ class SessionManager:
         drift: DriftConfig | dict | None = None,
         update_scaler: bool = False,
         null_value: float | None = 0.0,
+        max_sessions: int | None = None,
+        session_ttl_s: float | None = None,
         **target_kwargs,
     ) -> "SessionManager":
         """Build a manager (and its target) straight from a serving bundle.
@@ -556,6 +595,8 @@ class SessionManager:
             drift=drift,
             update_scaler=update_scaler,
             null_value=null_value,
+            max_sessions=max_sessions,
+            session_ttl_s=session_ttl_s,
         )
 
     # ------------------------------------------------------------------ #
@@ -567,8 +608,51 @@ class SessionManager:
             return target.predict_one(window, mask=mask)
         return target.predict(window, mask=mask)
 
+    def _evict_locked(self, client_id: str) -> None:
+        """Drop one session, merging its scored metrics first (lock held)."""
+        session = self._sessions.pop(client_id)
+        self._last_used.pop(client_id, None)
+        self._evicted_metrics.merge(session.metrics)
+        self.num_evicted += 1
+
+    def _sweep_locked(self, protect: str | None = None) -> None:
+        """Apply TTL then LRU-capacity eviction (lock held).
+
+        ``protect`` exempts the session being touched right now — the
+        client asking for it must never have it evicted out from under
+        them, even at capacity.
+        """
+        now = self._clock()
+        if self.session_ttl_s is not None:
+            expired = [
+                client_id for client_id, last in self._last_used.items()
+                if client_id != protect and now - last > self.session_ttl_s
+            ]
+            for client_id in expired:
+                self._evict_locked(client_id)
+        if self.max_sessions is not None:
+            while len(self._sessions) > self.max_sessions:
+                coldest = next(
+                    (cid for cid in self._sessions if cid != protect), None
+                )
+                if coldest is None:
+                    break
+                self._evict_locked(coldest)
+
+    def _touch_locked(self, client_id: str) -> None:
+        """Mark ``client_id`` most-recently-used (lock held)."""
+        session = self._sessions.pop(client_id)
+        self._sessions[client_id] = session  # re-insert at the LRU tail
+        self._last_used[client_id] = self._clock()
+
     def session(self, client_id: str) -> StreamingSession:
-        """Get or lazily create the session of ``client_id``."""
+        """Get or lazily create the session of ``client_id``.
+
+        Registry bounds apply here: idle sessions past ``session_ttl_s``
+        are dropped, and with ``max_sessions`` reached the least-recently-
+        used session makes room — both merge the evicted session's metrics
+        into the manager before the drop.
+        """
         with self._lock:
             session = self._sessions.get(client_id)
             if session is None:
@@ -584,6 +668,8 @@ class SessionManager:
                     null_value=self.null_value,
                 )
                 self._sessions[client_id] = session
+            self._touch_locked(client_id)
+            self._sweep_locked(protect=client_id)
             return session
 
     def __len__(self) -> int:
@@ -619,6 +705,8 @@ class SessionManager:
         """Forecast from ``client_id``'s current window (original units)."""
         with self._lock:
             session = self._sessions.get(client_id)
+            if session is not None:
+                self._touch_locked(client_id)
         if session is None:
             raise KeyError(f"unknown session {client_id!r}; push observations first")
         return session.forecast()
@@ -629,10 +717,15 @@ class SessionManager:
         return int(getattr(self.target, "generation", 0))
 
     def metrics(self) -> dict[str, float]:
-        """Live accuracy over every session (merged per-session accumulators)."""
+        """Live accuracy over every session, evicted sessions included.
+
+        Eviction merges a dropped session's accumulator into the manager
+        before the drop, so the aggregate never loses scored forecasts.
+        """
         merged = StreamingMetrics(null_value=self.null_value, quantiles=self.quantiles)
         with self._lock:
             sessions = list(self._sessions.values())
+            merged.merge(self._evicted_metrics)
         for session in sessions:
             merged.merge(session.metrics)
         return merged.compute()

@@ -401,6 +401,7 @@ class ForecastService:
         memory_budget_mb: float | None = None,
         use_kernel: bool | None = None,
         backend: str | None = None,
+        verify_digest: bool = True,
     ) -> "ForecastService":
         """Rehydrate a service from a serving bundle written by ``save_bundle``.
 
@@ -412,9 +413,12 @@ class ForecastService:
         an override, a recorded backend that is registered here but not
         installed (e.g. a numba-trained bundle on a numba-less host) falls
         back to ``numpy`` with a warning — an unknown name still raises
-        :class:`ValueError`.
+        :class:`ValueError`.  ``verify_digest=False`` skips the bundle's
+        SHA-256 payload check (see :func:`repro.utils.load_bundle`) — the
+        serving cluster uses it for workers whose parent already verified
+        the same file.
         """
-        bundle = load_bundle(path)
+        bundle = load_bundle(path, verify_digest=verify_digest)
         recorded = bundle.config.get("backend") if bundle.config else None
         if backend is not None:
             get_backend(backend)  # surface unknown/unavailable now

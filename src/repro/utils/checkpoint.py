@@ -29,7 +29,9 @@ keys (``…reset_gate.…`` / ``…update_gate.…``) are concatenated — bit-e
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -53,10 +55,65 @@ _BUNDLE_KEY = "__bundle__"
 _CANDIDATES_KEY = "__sampler_candidates__"
 _INDEX_SET_KEY = "__index_set__"
 _SCHEDULER_KEY = "__scheduler__"
+_DIGEST_KEY = "__digest__"
+
+# Keys excluded from the SHA-256 payload digest: the digest itself, plus the
+# JSON provenance records (bundle info, metadata, scheduler state).  The
+# digest covers the *numeric* payload — parameters, sampler candidates, the
+# frozen index set — i.e. everything a silently flipped bit would turn into
+# silently wrong forecasts; byte damage to the JSON region is already caught
+# by the zip container's CRC and the json/schema validation on load.
+_DIGEST_EXCLUDED = {_DIGEST_KEY, _BUNDLE_KEY, _METADATA_KEY, _SCHEDULER_KEY}
 
 
 def _is_reserved(key: str) -> bool:
     return key.startswith("__") and key.endswith("__")
+
+
+def _payload_digest(payload: dict) -> str:
+    """SHA-256 over the numeric payload arrays (names, dtypes, shapes, bytes)."""
+    digest = hashlib.sha256()
+    for name in sorted(payload):
+        if name in _DIGEST_EXCLUDED:
+            continue
+        array = np.asarray(payload[name])
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def _atomic_savez(path: Path, payload: dict) -> None:
+    """Write an ``.npz`` atomically: tmp file + fsync + rename.
+
+    A crash (or full disk) mid-write leaves the previous archive intact —
+    a serving host never observes a torn checkpoint at ``path``.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    # Best-effort directory fsync so the rename itself is durable; some
+    # filesystems do not support fsync on a directory fd.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
 
 
 def _json_default(value):
@@ -83,8 +140,7 @@ def save_checkpoint(model: Module, path: str | Path, metadata: dict | None = Non
     path = _normalise_path(path)
     payload = {name: parameter.data for name, parameter in model.named_parameters()}
     payload[_METADATA_KEY] = np.array(json.dumps(metadata or {}))
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **payload)
+    _atomic_savez(path, payload)
     return path
 
 
@@ -279,8 +335,11 @@ def save_bundle(
             json.dumps(scheduler_record, default=_json_default)
         )
 
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **payload)
+    # Integrity envelope: a SHA-256 digest of the numeric payload, written
+    # atomically (tmp + fsync + rename) so a crash mid-save can never leave
+    # a torn bundle and a flipped parameter bit can never serve silently.
+    payload[_DIGEST_KEY] = np.array(_payload_digest(payload))
+    _atomic_savez(path, payload)
     return path
 
 
@@ -334,12 +393,16 @@ def rehydrate_scaler(bundle: CheckpointBundle):
     return scaler
 
 
-def load_bundle(path: str | Path) -> CheckpointBundle:
+def load_bundle(path: str | Path, verify_digest: bool = True) -> CheckpointBundle:
     """Read a serving bundle written by :func:`save_bundle`.
 
     Raises ``ValueError`` when ``path`` is a plain parameter checkpoint (or
-    any other archive without the ``__bundle__`` record) or when the bundle
-    version is newer than this code understands.
+    any other archive without the ``__bundle__`` record), when the bundle
+    version is newer than this code understands, or when the recorded
+    SHA-256 payload digest does not match the arrays on disk (corruption).
+    ``verify_digest=False`` skips the hash — e.g. for cluster workers whose
+    parent already verified the same file.  Bundles written before the
+    digest existed load without verification.
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
@@ -348,6 +411,18 @@ def load_bundle(path: str | Path) -> CheckpointBundle:
                 f"{path} is not a serving bundle (missing {_BUNDLE_KEY!r}); "
                 "use load_checkpoint for plain parameter checkpoints"
             )
+        if verify_digest and _DIGEST_KEY in archive.files:
+            recorded = str(archive[_DIGEST_KEY])
+            actual = _payload_digest(
+                {name: archive[name] for name in archive.files
+                 if name not in _DIGEST_EXCLUDED}
+            )
+            if actual != recorded:
+                raise ValueError(
+                    f"{path} failed its payload digest check "
+                    f"(recorded {recorded[:12]}…, got {actual[:12]}…): "
+                    "the bundle is corrupt"
+                )
         info = json.loads(str(archive[_BUNDLE_KEY]))
         metadata = json.loads(str(archive[_METADATA_KEY])) if _METADATA_KEY in archive.files else {}
         state = {name: archive[name] for name in archive.files if not _is_reserved(name)}

@@ -534,6 +534,119 @@ class TestSessionManager:
             )
 
 
+class _FakeClock:
+    """Deterministic monotonic time source for TTL/LRU tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSessionEviction:
+    @pytest.fixture
+    def bundle_path(self, tmp_path, rng):
+        model = _frozen_model()
+        scaler = StandardScaler().fit(
+            np.abs(rng.normal(5.0, 2.0, size=(128, NODES)))
+        )
+        return save_bundle(model, tmp_path / "evict", scaler=scaler)
+
+    def _manager(self, bundle_path, clock, **kwargs):
+        service = ForecastService.from_checkpoint(bundle_path)
+        bundle = load_bundle(bundle_path)
+        return SessionManager(service, bundle.config, scaler=service.scaler,
+                              clock=clock, **kwargs)
+
+    def test_lru_eviction_caps_registry(self, bundle_path):
+        clock = _FakeClock()
+        manager = self._manager(bundle_path, clock, max_sessions=2)
+        for client in ("a", "b", "c"):
+            manager.session(client)
+            clock.advance(1.0)
+        assert len(manager) == 2
+        assert manager.num_evicted == 1
+        assert set(manager._sessions) == {"b", "c"}  # "a" was coldest
+
+    def test_touch_refreshes_lru_order(self, bundle_path):
+        clock = _FakeClock()
+        manager = self._manager(bundle_path, clock, max_sessions=2)
+        manager.session("a")
+        clock.advance(1.0)
+        manager.session("b")
+        clock.advance(1.0)
+        manager.session("a")  # refresh: "b" is now the coldest
+        clock.advance(1.0)
+        manager.session("c")
+        assert set(manager._sessions) == {"a", "c"}
+
+    def test_own_session_never_evicted_under_caller(self, bundle_path):
+        clock = _FakeClock()
+        manager = self._manager(bundle_path, clock, max_sessions=1)
+        first = manager.session("a")
+        assert manager.session("a") is first  # repeat touch, no self-evict
+        manager.session("b")
+        assert set(manager._sessions) == {"b"}
+        assert manager.num_evicted == 1
+
+    def test_ttl_evicts_idle_sessions(self, bundle_path):
+        clock = _FakeClock()
+        manager = self._manager(bundle_path, clock, session_ttl_s=10.0)
+        manager.session("idle")
+        clock.advance(5.0)
+        manager.session("fresh")
+        clock.advance(6.0)  # "idle" is 11 s stale, "fresh" only 6 s
+        manager.session("fresh")
+        assert set(manager._sessions) == {"fresh"}
+        assert manager.num_evicted == 1
+
+    def test_evicted_metrics_survive_in_manager(self, bundle_path, rng):
+        clock = _FakeClock()
+        manager = self._manager(bundle_path, clock, max_sessions=1)
+        stream = np.abs(rng.normal(5.0, 2.0, size=(7, NODES)))
+        for row in stream[:4]:
+            manager.push_observations("scored", row[None])
+        manager.forecast("scored")
+        for row in stream[4:]:  # horizon rows score the forecast
+            manager.push_observations("scored", row[None])
+        before = manager.metrics()
+        assert before["mae"] > 0
+        clock.advance(1.0)
+        manager.session("newcomer")  # evicts "scored" at capacity
+        assert manager.num_evicted == 1
+        assert set(manager._sessions) == {"newcomer"}
+        after = manager.metrics()
+        assert after["mae"] == pytest.approx(before["mae"], rel=1e-12)
+        assert after["rmse"] == pytest.approx(before["rmse"], rel=1e-12)
+
+    def test_unbounded_by_default(self, bundle_path):
+        clock = _FakeClock()
+        manager = self._manager(bundle_path, clock)
+        for index in range(32):
+            manager.session(f"client-{index}")
+            clock.advance(1000.0)
+        assert len(manager) == 32
+        assert manager.num_evicted == 0
+
+    def test_bounds_validated(self, bundle_path):
+        clock = _FakeClock()
+        with pytest.raises(ValueError, match="max_sessions"):
+            self._manager(bundle_path, clock, max_sessions=0)
+        with pytest.raises(ValueError, match="session_ttl_s"):
+            self._manager(bundle_path, clock, session_ttl_s=0.0)
+
+    def test_from_checkpoint_wires_bounds(self, bundle_path):
+        manager = SessionManager.from_checkpoint(
+            bundle_path, max_sessions=3, session_ttl_s=60.0
+        )
+        assert manager.max_sessions == 3
+        assert manager.session_ttl_s == 60.0
+
+
 class TestStreamingMetricsMerge:
     def test_merge_equals_single_accumulator(self, rng):
         prediction = rng.normal(size=(6, 3, NODES, 1))

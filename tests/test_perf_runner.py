@@ -177,7 +177,7 @@ class TestRecurrenceSection:
     def test_recurrence_section_present_and_sane(self, tiny_report):
         report, _ = tiny_report
         recurrence = report["recurrence"]
-        assert report["schema_version"] == 7
+        assert report["schema_version"] == 8
         assert recurrence["history"] > 0 and recurrence["horizon"] > 0
         (entry,) = recurrence["results"]
         assert entry["num_nodes"] == 24
@@ -473,6 +473,88 @@ class TestOnlineSection:
         with pytest.raises(ValueError, match="errored"):
             run_perf.validate_online(
                 dict(good, forecast_during_swap_errors=2)
+            )
+
+
+class TestFaultsSection:
+    def test_faults_section_present_and_sane(self, tiny_report):
+        report, _ = tiny_report
+        faults = report["faults"]
+        assert faults["num_nodes"] == 24
+        assert faults["workers"] == 2
+        assert faults["plan"]["by_kind"]["kill"] == 2  # one per worker
+        for name in ("baseline", "faulted"):
+            entry = faults[name]
+            assert entry["unresolved"] == 0  # nothing may ever hang
+            assert entry["throughput_rps"] > 0
+        assert faults["baseline"]["typed_errors"] == 0
+        total = faults["faulted"]["ok"] + faults["faulted"]["typed_errors"]
+        assert total == faults["requests"]
+        assert faults["pool_restored"] is True
+        assert faults["parked_workers"] == 0
+        assert faults["total_restarts"] >= 2  # every worker was killed once
+        assert faults["recovery_s"] >= 0
+        assert (faults["recovery_s"]
+                <= faults["restart_backoff_ceiling_s"] + 120)
+
+    def test_faults_only_mode_with_recovery_gate(self, run_perf, tmp_path):
+        output = tmp_path / "faults.json"
+        report = run_perf.main(
+            [
+                "--faults-only",
+                "--sizes", "24",
+                "--m", "6",
+                "--heads", "2",
+                "--embedding-dim", "4",
+                "--ffn-hidden", "4",
+                "--hidden", "4",
+                "--repeats", "1",
+                "--cluster-requests", "16",
+                "--assert-fault-recovery",
+                "--output", str(output),
+            ]
+        )
+        assert report["benchmark"] == "attention-faults"
+        on_disk = json.loads(output.read_text())
+        assert "results" not in on_disk  # only the faults section is written
+        run_perf.validate_faults(on_disk["faults"])
+
+    def test_faults_only_is_exclusive_and_gated(self, run_perf, tmp_path):
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                ["--faults-only", "--cluster-only",
+                 "--output", str(tmp_path / "x.json")]
+            )
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                ["--cluster-only", "--assert-fault-recovery",
+                 "--output", str(tmp_path / "x.json")]
+            )
+        with pytest.raises(SystemExit):
+            run_perf.main(
+                ["--fault-workers", "0", "--output", str(tmp_path / "x.json")]
+            )
+
+    def test_faults_validator_rejects_missing_and_unresolved(self, run_perf):
+        with pytest.raises(ValueError, match="missing key"):
+            run_perf.validate_faults({"num_nodes": 24})
+        good = {
+            "num_nodes": 24, "workers": 2, "requests": 16, "max_batch": 1,
+            "plan": {"workers": 2, "seed": 0, "horizon": 4, "events": 2,
+                     "by_kind": {"kill": 2}},
+            "baseline": {"ok": 16, "typed_errors": 0, "unresolved": 0,
+                         "throughput_rps": 1.0, "latency_p95_ms": 1.0},
+            "faulted": {"ok": 10, "typed_errors": 6, "unresolved": 0,
+                        "throughput_rps": 1.0, "latency_p95_ms": 1.0},
+            "throughput_retention": 1.0, "recovery_s": 0.5,
+            "pool_restored": True, "parked_workers": 0,
+            "total_restarts": 2, "redispatches": 1,
+            "restart_backoff_s": 0.1, "restart_backoff_ceiling_s": 8.0,
+        }
+        run_perf.validate_faults(good)  # must not raise
+        with pytest.raises(ValueError, match="never resolved"):
+            run_perf.validate_faults(
+                dict(good, faulted=dict(good["faulted"], unresolved=3))
             )
 
 

@@ -145,7 +145,8 @@ class TestClusterFaults:
         peer) and the cluster must record the death."""
         path, _ = bundle
         with ServingCluster(path, workers=2, max_batch=4, max_wait_ms=1.0,
-                            request_timeout_s=30.0) as cluster:
+                            request_timeout_s=30.0,
+                            supervise=False) as cluster:
             service = ForecastService.from_checkpoint(path)
             cluster.predict(windows[0], timeout=60)  # warm both ends
             cluster._channels[0].process.kill()
@@ -164,7 +165,8 @@ class TestClusterFaults:
                                                              windows):
         path, _ = bundle
         with ServingCluster(path, workers=1, max_batch=4, max_wait_ms=1.0,
-                            request_timeout_s=30.0) as cluster:
+                            request_timeout_s=30.0,
+                            supervise=False) as cluster:
             cluster.predict(windows[0], timeout=60)
             cluster._channels[0].process.kill()
             cluster._channels[0].process.join(10.0)
